@@ -1,0 +1,53 @@
+"""Figure 3 — per-statement run-time profile of walk() with f→Qi overhead.
+
+The paper's right margin annotates each statement of walk() with its share
+of total run time (Q2's assignment to ``location`` dominating at 54.02 %)
+and blackens the portion spent in f→Qi context switches (plan
+instantiation/teardown), totalling >35 %.
+
+Shape criteria: the three embedded-query assignments dominate the profile;
+each of them carries nonzero overhead share; the plain arithmetic
+statements are cheap.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import render_table, statement_profile
+
+SQL = "SELECT walk(row(0,0)::coord, $1, $2, $3)"
+PARAMS = [10**9, -(10**9), 300]
+
+
+def build_profile(db):
+    rows = statement_profile(db, SQL, PARAMS)
+    table = render_table(
+        ["statement", "% of run time", "f->Qi overhead %"],
+        [(label, round(total, 2), round(overhead, 2))
+         for label, total, overhead in rows],
+        "Figure 3: per-statement profile of walk()")
+    return table, rows
+
+
+def test_fig03_report(demo, write_artifact, benchmark):
+    db = demo.db
+    was_enabled = db.profiler.enabled
+    benchmark.pedantic(lambda: statement_profile(db, SQL, PARAMS),
+                       rounds=2, iterations=1)
+    try:
+        table, rows = build_profile(db)
+    finally:
+        db.profiler.enabled = was_enabled
+    write_artifact("fig03_walk_statement_profile.txt", table)
+
+    by_label = {label: (total, overhead) for label, total, overhead in rows}
+    query_rows = [(label, total, overhead)
+                  for label, total, overhead in rows if "SELECT" in label]
+    assert len(query_rows) >= 3, "expected the three embedded queries Q1..Q3"
+    # The embedded queries dominate walk's run time ...
+    assert sum(total for _, total, _ in query_rows) > 60.0
+    # ... and each pays f->Qi overhead (the black bar sections).
+    for label, _total, overhead in query_rows:
+        assert overhead > 0.0, label
+    # Q2 (the assignment to `location`) is the most expensive statement.
+    top = max(rows, key=lambda r: r[1])
+    assert top[0].startswith("location"), top

@@ -1,0 +1,56 @@
+"""Figure 11a — heat map: relative runtime of recursive SQL vs PL/SQL, walk.
+
+Paper: #invocations (Q→walk) x #iterations (walk→Qi) from 2..1024 each;
+relative runtime ~59-61 % across the bulk of the grid, with only the very
+small corner (few invocations x few iterations) failing to amortize the
+one-time cost of the template query (values > 100 % bottom-left).
+
+Scaled grid here: invocations 1..32, iterations 2..128.  Shape criteria:
+light colors (clear wins) away from the small corner; the worst relative
+value sits in the smallest corner; large-grid cells all favour SQL.
+"""
+
+from __future__ import annotations
+
+from conftest import walk_query
+
+from repro.bench.harness import measure_heatmap, render_heatmap
+
+INVOCATIONS = [1, 2, 4, 8, 16, 32]
+ITERATIONS = [2, 4, 8, 16, 32, 64, 128]
+WIN, LOOSE = 10**9, -(10**9)
+
+
+def build_heatmap(db, runs: int = 3):
+    def make_query(function: str, iterations: int):
+        return walk_query(function), [WIN, LOOSE, iterations]
+
+    return measure_heatmap(db, INVOCATIONS, ITERATIONS, make_query,
+                           slow_name="walk", fast_name="walk_c", runs=runs)
+
+
+def test_fig11a_report(demo, write_artifact, benchmark):
+    db = demo.db
+
+    from repro.bench.harness import ensure_calls_table
+    ensure_calls_table(db, 8)
+
+    def one_cell():
+        db.reseed(42)
+        db.execute(walk_query("walk_c"), [WIN, LOOSE, 16])
+
+    benchmark.pedantic(one_cell, rounds=3, iterations=1)
+
+    result = build_heatmap(db)
+    text = render_heatmap(result, "Figure 11a: walk, relative runtime % "
+                                  "(recursive SQL vs PL/SQL)")
+    write_artifact("fig11a_walk_heatmap.txt", text)
+
+    flat = [v for row in result.grid for v in row]
+    # SQL wins over most of the grid.
+    wins = sum(1 for v in flat if v < 100.0)
+    assert wins >= 0.8 * len(flat), (wins, len(flat))
+    # The big-work corner (max invocations, max iterations) is a clear win.
+    assert result.grid[-1][-1] < 95.0, result.grid[-1][-1]
+    # The advantage at scale beats the advantage in the tiny corner.
+    assert result.grid[-1][-1] < result.grid[0][0] + 5.0

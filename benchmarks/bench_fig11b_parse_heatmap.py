@@ -1,0 +1,66 @@
+"""Figure 11b — heat map for parse(), "Beyond PostgreSQL" (Oracle).
+
+Paper: the same transformation applied to Oracle; parse() improves to
+42-55 % relative runtime over most of the grid (values near 100 % in the
+tiny corner omitted due to Oracle's coarse timer).
+
+Substitution (see DESIGN.md): no Oracle is available offline — we run the
+sweep on our engine and additionally emit the compiled query in Oracle
+syntax (``results/fig11b_parse_oracle.sql``) to demonstrate the "modulo
+syntactic details" claim.  Shape criteria: the relative runtime *improves*
+(decreases) as the input grows — parse's per-iteration interpreter overhead
+is large relative to its tiny FSM lookup, so longer inputs amortize better,
+matching the paper's left-to-right gradient in Figure 11b.
+"""
+
+from __future__ import annotations
+
+from conftest import parse_query
+
+from repro.bench.harness import measure_heatmap, render_heatmap
+from repro.workloads import make_parseable_input
+
+INVOCATIONS = [1, 2, 4, 8, 16]
+INPUT_LENGTHS = [4, 16, 64, 256, 1024]
+
+
+def build_heatmap(db, runs: int = 3):
+    inputs = {n: make_parseable_input(n, seed=5) for n in INPUT_LENGTHS}
+
+    def make_query(function: str, iterations: int):
+        return parse_query(function), [inputs[iterations]]
+
+    return measure_heatmap(db, INVOCATIONS, INPUT_LENGTHS, make_query,
+                           slow_name="parse", fast_name="parse_c", runs=runs)
+
+
+def test_fig11b_report(demo, write_artifact, benchmark):
+    db = demo.db
+
+    from repro.bench.harness import ensure_calls_table
+    ensure_calls_table(db, 4)
+    text_input = make_parseable_input(64, seed=5)
+
+    def one_cell():
+        db.execute(parse_query("parse_c"), [text_input])
+
+    benchmark.pedantic(one_cell, rounds=3, iterations=1)
+
+    result = build_heatmap(db)
+    text = render_heatmap(result, "Figure 11b: parse, relative runtime % "
+                                  "(recursive SQL vs PL/SQL)")
+    write_artifact("fig11b_parse_heatmap.txt", text)
+
+    # Oracle-dialect emission of the compiled query (textual artifact).
+    oracle_sql = demo.compiled["parse"].sql("oracle")
+    write_artifact("fig11b_parse_oracle.sql", oracle_sql)
+
+    # Long inputs amortize: averaged over the grid, the large-input half
+    # clearly beats the small-input half (per-cell timings at 4-16 chars
+    # are microseconds — pure timer-noise territory).
+    left = [row[0] for row in result.grid] + [row[1] for row in result.grid]
+    right = [row[-1] for row in result.grid] + [row[-2] for row in result.grid]
+    assert sum(right) / len(right) < sum(left) / len(left), (left, right)
+    # And at scale, recursive SQL clearly wins everywhere.
+    for row in result.grid:
+        assert row[-1] < 90.0, row

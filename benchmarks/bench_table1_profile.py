@@ -1,0 +1,71 @@
+"""Table 1 — run time share per phase during PL/pgSQL evaluation.
+
+Paper (PostgreSQL 11.3):
+
+    function    Exec.Start  Exec.Run  Exec.End  Interp
+    walk             30.89     55.13      4.36    9.63
+    parse            13.84     68.52      2.20   15.62
+    traverse         31.80     35.82      6.03   26.35
+    fibonacci            0     90.45         0    9.55
+
+Shape criteria reproduced here: query-bearing functions (walk, parse,
+traverse) show substantial Exec·Start + Exec·End — the f→Qi context-switch
+overhead — while fibonacci, whose expressions all take the interpreter's
+fast path, shows exactly zero in both columns.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import (TABLE1_PHASES, profile_function_call,
+                                 render_table)
+from repro.workloads import make_parseable_input
+
+#: (label, sql, params) per Table 1 row; sizes scaled from the paper's.
+CASES = [
+    ("walk", "SELECT walk(row(0,0)::coord, $1, $2, $3)",
+     [10**9, -(10**9), 300]),
+    ("parse", "SELECT parse($1)", [make_parseable_input(600, seed=11)]),
+    ("traverse", "SELECT traverse(0, $1)", [600]),
+    ("fibonacci", "SELECT fibonacci($1)", [3000]),
+]
+
+
+def build_table(db) -> tuple[str, list]:
+    rows = []
+    breakdowns = []
+    for label, sql, params in CASES:
+        breakdown = profile_function_call(db, sql, params, label=label)
+        breakdowns.append(breakdown)
+        rows.append(breakdown.row())
+    headers = ["function"] + list(TABLE1_PHASES)
+    text = render_table(headers, rows,
+                        "Table 1: % of run time per phase (interpreted)")
+    return text, breakdowns
+
+
+def test_table1_report(demo, write_artifact, benchmark):
+    db = demo.db
+    was_enabled = db.profiler.enabled
+
+    def profile_walk():
+        return profile_function_call(db, *CASES[0][1:], label="walk")
+
+    benchmark.pedantic(profile_walk, rounds=2, iterations=1)
+    try:
+        text, breakdowns = build_table(db)
+    finally:
+        db.profiler.enabled = was_enabled
+    write_artifact("table1_profile.txt", text)
+
+    by_name = {b.function: b for b in breakdowns}
+    # fibonacci: pure fast path — no embedded-query switches, and the only
+    # ExecutorStart/End cost is the (tiny, one-off) top-level query's.
+    assert by_name["fibonacci"].counts.get("switch f->Q", 0) == 0
+    assert by_name["fibonacci"].shares["ExecutorStart"] < 1.0
+    assert by_name["fibonacci"].shares["ExecutorEnd"] < 1.0
+    # Query-bearing functions pay measurable f->Qi overhead.
+    for name in ("walk", "parse", "traverse"):
+        overhead = (by_name[name].shares["ExecutorStart"]
+                    + by_name[name].shares["ExecutorEnd"])
+        assert overhead > 2.0, (name, overhead)
+        assert by_name[name].counts.get("switch f->Q", 0) > 0

@@ -1,0 +1,54 @@
+"""Shared fixtures for the paper-artifact benchmarks.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper into
+``benchmarks/results/`` (plain text) and exposes representative operations
+to pytest-benchmark.  Sweeps are scaled down from the paper's sizes — a
+Python engine is ~100x slower per tuple than PostgreSQL's C — with the
+scaling factors recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.workloads import build_demo_database
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def demo():
+    """One demo database shared by all benchmarks (seeded, profiler off)."""
+    built = build_demo_database(seed=7)
+    built.db.profiler.enabled = False
+    return built
+
+
+@pytest.fixture(scope="session")
+def write_artifact():
+    def write(name: str, text: str) -> Path:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / name
+        path.write_text(text + "\n")
+        print(f"\n--- {name} ---------------------------------------------")
+        print(text)
+        return path
+
+    return write
+
+
+def walk_query(function: str, per_call: bool = False) -> str:
+    """Driving query for walk variants ($1=win, $2=loose, $3=steps)."""
+    call = f"{function}(row(0,0)::coord, $1, $2, $3)"
+    if per_call:
+        return f"SELECT {call}"
+    return f"SELECT count({call}) FROM bench_calls AS b"
+
+
+def parse_query(function: str, per_call: bool = False) -> str:
+    call = f"{function}($1)"
+    if per_call:
+        return f"SELECT {call}"
+    return f"SELECT count({call}) FROM bench_calls AS b"

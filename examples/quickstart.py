@@ -1,0 +1,58 @@
+"""Quickstart: compile a PL/pgSQL function away, end to end.
+
+Run:  python examples/quickstart.py
+
+Shows the full Figure-4 pipeline on a small iterative function: the goto
+CFG, SSA, ANF, the flattened recursive UDF, and the final WITH RECURSIVE
+query — then registers both variants and compares results and plan counts.
+"""
+
+from repro.compiler import compile_plsql
+from repro.sql import Database
+
+SOURCE = """
+CREATE FUNCTION gcd(a int, b int) RETURNS int AS $$
+DECLARE t int;
+BEGIN
+  WHILE b <> 0 LOOP
+    t = b;
+    b = a % b;
+    a = t;
+  END LOOP;
+  RETURN a;
+END;
+$$ LANGUAGE plpgsql
+"""
+
+
+def main() -> None:
+    db = Database()
+    db.execute(SOURCE)                      # interpreted PL/pgSQL
+    compiled = compile_plsql(SOURCE, db)    # ... compiled away
+    compiled.register(db, name="gcd_c")
+
+    print(compiled.explain())               # every intermediate form
+
+    print("\nResults (interpreted vs compiled):")
+    for a, b in ((12, 18), (48, 36), (17, 5), (0, 9)):
+        interp = db.query_value("SELECT gcd($1, $2)", [a, b])
+        comp = db.query_value("SELECT gcd_c($1, $2)", [a, b])
+        print(f"  gcd({a:>2},{b:>2}) = {interp:>2}  |  compiled: {comp:>2}")
+        assert interp == comp
+
+    # The punchline: calling the compiled function from a query needs no
+    # context switches at all.
+    db.execute("CREATE TABLE pairs(a int, b int)")
+    db.execute("INSERT INTO pairs VALUES (12, 18), (100, 75), (7, 13)")
+    db.profiler.reset()
+    db.query_all("SELECT gcd(a, b) FROM pairs")
+    interp_switches = db.profiler.counts["switch Q->f"]
+    db.profiler.reset()
+    db.query_all("SELECT gcd_c(a, b) FROM pairs")
+    compiled_switches = db.profiler.counts["switch Q->f"]
+    print(f"\nQ->f context switches over 3 rows: "
+          f"interpreted={interp_switches}, compiled={compiled_switches}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""``repro.bench`` — measurement harness for the paper's tables and figures."""
+
+from .harness import (HeatmapResult, ProfileBreakdown, SeriesResult,
+                      ensure_calls_table, measure_heatmap, measure_series,
+                      profile_function_call, render_heatmap, render_table,
+                      statement_profile, time_query)
+
+__all__ = [
+    "HeatmapResult", "ProfileBreakdown", "SeriesResult",
+    "ensure_calls_table", "measure_heatmap", "measure_series",
+    "profile_function_call", "render_heatmap", "render_table",
+    "statement_profile", "time_query",
+]

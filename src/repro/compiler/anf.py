@@ -1,0 +1,389 @@
+"""SSA → administrative normal form (the paper's **ANF** step).
+
+Following Appel ("SSA is functional programming") and Chakravarty et al.,
+each basic block becomes a function: jump labels turn into function names,
+gotos into *tail* calls, φ-bound variables into parameters, and lambda
+lifting adds the remaining free variables as explicit parameters.  Iteration
+— looping back to a label — thereby turns into tail recursion (paper
+Figure 6).
+
+An inlining pass then merges functions with exactly one call site into
+their caller, which collapses the straight-line blocks the CFG lowering
+introduced and leaves only genuinely shared or recursive functions — the
+ones the UDF stage must defunctionalize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from ..sql import ast as A
+from ..sql.errors import CompileError
+from .cfg import CondGoto, Goto, Return
+from .rename import collect_variable_uses
+from .ssa import SsaProgram
+
+
+class AnfExpr:
+    __slots__ = ()
+
+
+@dataclass
+class AnfLet(AnfExpr):
+    """``let var = value in body`` (value is a SQL expression)."""
+
+    var: str
+    value: A.Expr
+    body: AnfExpr
+
+
+@dataclass
+class AnfIf(AnfExpr):
+    condition: A.Expr
+    then_branch: AnfExpr
+    else_branch: AnfExpr
+
+
+@dataclass
+class AnfCall(AnfExpr):
+    """Tail call to another ANF function."""
+
+    func: str
+    args: list[A.Expr]
+
+
+@dataclass
+class AnfRet(AnfExpr):
+    expr: A.Expr
+
+
+@dataclass
+class AnfFunction:
+    name: str
+    params: list[str]
+    body: AnfExpr
+
+
+@dataclass
+class AnfProgram:
+    func_name: str
+    params: list[str]           # SSA names of the original parameters
+    param_types: list[str]
+    return_type: str
+    entry: str                  # name of the entry function ("main")
+    functions: dict[str, AnfFunction] = field(default_factory=dict)
+    var_types: dict[str, str] = field(default_factory=dict)
+    base_of: dict[str, str] = field(default_factory=dict)
+
+    def recursive_functions(self) -> list[AnfFunction]:
+        """Every function except the entry, in stable (name) order."""
+        return [f for name, f in sorted(self.functions.items())
+                if name != self.entry]
+
+    def pretty(self) -> str:
+        from .dialects import render_expression
+
+        def render(expr: AnfExpr, indent: int) -> list[str]:
+            pad = "  " * indent
+            if isinstance(expr, AnfLet):
+                lines = [f"{pad}let {expr.var} = "
+                         f"{render_expression(expr.value)} in"]
+                lines.extend(render(expr.body, indent))
+                return lines
+            if isinstance(expr, AnfIf):
+                lines = [f"{pad}if {render_expression(expr.condition)} then"]
+                lines.extend(render(expr.then_branch, indent + 1))
+                lines.append(f"{pad}else")
+                lines.extend(render(expr.else_branch, indent + 1))
+                return lines
+            if isinstance(expr, AnfCall):
+                args = ", ".join(render_expression(a) for a in expr.args)
+                return [f"{pad}{expr.func}({args})"]
+            if isinstance(expr, AnfRet):
+                return [f"{pad}{render_expression(expr.expr)}"]
+            raise CompileError(f"unknown ANF node {type(expr).__name__}")
+
+        lines = [f"function {self.func_name}({', '.join(self.params)}) ="]
+        for name, func in sorted(self.functions.items()):
+            if name == self.entry:
+                continue
+            lines.append(f"  letrec {name}({', '.join(func.params)}) =")
+            lines.extend(render(func.body, 2))
+        lines.append("  in")
+        lines.extend(render(self.functions[self.entry].body, 2))
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# SSA -> ANF conversion
+# ---------------------------------------------------------------------------
+
+
+def ssa_to_anf(program: SsaProgram, catalog=None) -> AnfProgram:
+    """Translate SSA blocks into mutually tail-recursive ANF functions."""
+    entry_name = "main"
+    names = {bid: (entry_name if bid == program.entry else f"l{bid}")
+             for bid in program.blocks}
+    variables = set(program.var_types)
+
+    # Lambda lifting: compute each block-function's free variables.
+    # Start from direct uses minus local definitions, then propagate the
+    # frees of callees (their φ params are bound by the call, the rest flow
+    # through the caller) until fixpoint.
+    direct_uses: dict[int, set[str]] = {}
+    local_defs: dict[int, set[str]] = {}
+    phi_params: dict[int, list[str]] = {}
+    for bid, block in program.blocks.items():
+        uses: set[str] = set()
+        for stmt in block.stmts:
+            uses |= collect_variable_uses(stmt.expr, variables, catalog)
+        terminator = block.terminator
+        if isinstance(terminator, CondGoto):
+            uses |= collect_variable_uses(terminator.condition, variables, catalog)
+        elif isinstance(terminator, Return):
+            uses |= collect_variable_uses(terminator.expr, variables, catalog)
+        for successor in block.successors():
+            for phi in program.blocks[successor].phis:
+                operand = phi.args.get(bid)
+                if operand is not None:
+                    uses.add(operand)
+        phi_params[bid] = [phi.target for phi in block.phis]
+        local_defs[bid] = (set(phi_params[bid])
+                           | {stmt.target for stmt in block.stmts})
+        direct_uses[bid] = uses
+
+    free: dict[int, set[str]] = {bid: direct_uses[bid] - local_defs[bid]
+                                 for bid in program.blocks}
+    if program.entry in free:
+        # The entry's frees are the function parameters themselves.
+        pass
+    changed = True
+    while changed:
+        changed = False
+        for bid, block in program.blocks.items():
+            for successor in block.successors():
+                inherited = free[successor] - set(phi_params[successor])
+                extra = inherited - local_defs[bid] - free[bid]
+                if extra:
+                    free[bid] |= extra
+                    changed = True
+
+    entry_free = free[program.entry] - set(program.params)
+    if entry_free:
+        raise CompileError(
+            f"variables used before definition: {sorted(entry_free)}")
+
+    params_of: dict[int, list[str]] = {}
+    for bid in program.blocks:
+        if bid == program.entry:
+            params_of[bid] = list(program.params)
+        else:
+            params_of[bid] = phi_params[bid] + sorted(free[bid])
+
+    def call_for_edge(source: int, target: int) -> AnfCall:
+        args: list[A.Expr] = []
+        for phi in program.blocks[target].phis:
+            operand = phi.args.get(source)
+            args.append(A.ColumnRef((operand,)) if operand is not None
+                        else A.Literal(None))
+        for name in sorted(free[target]):
+            args.append(A.ColumnRef((name,)))
+        return AnfCall(names[target], args)
+
+    functions: dict[str, AnfFunction] = {}
+    for bid, block in program.blocks.items():
+        terminator = block.terminator
+        if isinstance(terminator, Return):
+            tail: AnfExpr = AnfRet(terminator.expr)
+        elif isinstance(terminator, Goto):
+            tail = call_for_edge(bid, terminator.target)
+        elif isinstance(terminator, CondGoto):
+            tail = AnfIf(terminator.condition,
+                         call_for_edge(bid, terminator.then_target),
+                         call_for_edge(bid, terminator.else_target))
+        else:
+            raise CompileError(f"block L{bid} lacks a terminator")
+        body: AnfExpr = tail
+        for stmt in reversed(block.stmts):
+            body = AnfLet(stmt.target, stmt.expr, body)
+        functions[names[bid]] = AnfFunction(names[bid], params_of[bid], body)
+
+    return AnfProgram(
+        func_name=program.func_name,
+        params=list(program.params),
+        param_types=list(program.param_types),
+        return_type=program.return_type,
+        entry=entry_name,
+        functions=functions,
+        var_types=dict(program.var_types),
+        base_of=dict(program.base_of),
+    )
+
+
+# ---------------------------------------------------------------------------
+# ANF inlining
+# ---------------------------------------------------------------------------
+
+
+def _count_calls(program: AnfProgram) -> dict[str, int]:
+    counts = {name: 0 for name in program.functions}
+
+    def visit(expr: AnfExpr) -> None:
+        if isinstance(expr, AnfLet):
+            visit(expr.body)
+        elif isinstance(expr, AnfIf):
+            visit(expr.then_branch)
+            visit(expr.else_branch)
+        elif isinstance(expr, AnfCall):
+            counts[expr.func] = counts.get(expr.func, 0) + 1
+
+    for func in program.functions.values():
+        visit(func.body)
+    return counts
+
+
+def _calls_in(expr: AnfExpr) -> set[str]:
+    out: set[str] = set()
+
+    def visit(node: AnfExpr) -> None:
+        if isinstance(node, AnfLet):
+            visit(node.body)
+        elif isinstance(node, AnfIf):
+            visit(node.then_branch)
+            visit(node.else_branch)
+        elif isinstance(node, AnfCall):
+            out.add(node.func)
+
+    visit(expr)
+    return out
+
+
+def _call_edges(program: AnfProgram) -> dict[str, set[str]]:
+    return {name: _calls_in(func.body)
+            for name, func in program.functions.items()}
+
+
+def _cyclic_functions(program: AnfProgram) -> set[str]:
+    """Functions that can reach themselves through the call graph."""
+    edges = _call_edges(program)
+    cyclic: set[str] = set()
+    for start in program.functions:
+        seen: set[str] = set()
+        work = list(edges.get(start, ()))
+        while work:
+            name = work.pop()
+            if name == start:
+                cyclic.add(start)
+                break
+            if name in seen:
+                continue
+            seen.add(name)
+            work.extend(edges.get(name, ()))
+    return cyclic
+
+
+def inline_anf(program: AnfProgram) -> AnfProgram:
+    """Inline ANF functions until only cyclic ones (and the entry) remain.
+
+    Two rules, applied to fixpoint:
+
+    * a function with exactly one call site is grafted into its caller;
+    * an *acyclic* function is grafted into all callers even when called
+      from several sites (the code duplication Froid accepts too) — this is
+      what makes loop-free input compile to a plain query with no CTE.
+
+    Because SSA names are globally unique, inlining is pure tree grafting:
+    the callee's parameters become ``let`` bindings of the argument
+    expressions, no renaming required — except that a multi-site inline
+    duplicates let-bound names across *disjoint* branches, which stays
+    sound for translation (each branch is rendered independently).
+    """
+    progress = True
+    while progress:
+        progress = False
+        counts = _count_calls(program)
+        # Unreachable functions (no call sites) simply disappear.
+        for name in list(program.functions):
+            if name != program.entry and counts.get(name, 0) == 0:
+                del program.functions[name]
+                progress = True
+        if progress:
+            continue
+        cyclic = _cyclic_functions(program)
+        for name, func in list(program.functions.items()):
+            if name == program.entry:
+                continue
+            if counts.get(name, 0) != 1 and name in cyclic:
+                continue
+            if name in _calls_in(func.body):
+                continue  # self-recursive: calls itself directly
+
+            def splice(expr: AnfExpr) -> AnfExpr:
+                if isinstance(expr, AnfLet):
+                    return AnfLet(expr.var, expr.value, splice(expr.body))
+                if isinstance(expr, AnfIf):
+                    return AnfIf(expr.condition, splice(expr.then_branch),
+                                 splice(expr.else_branch))
+                if isinstance(expr, AnfCall) and expr.func == name:
+                    body = func.body
+                    for param, arg in zip(reversed(func.params),
+                                          reversed(expr.args)):
+                        body = AnfLet(param, arg, body)
+                    return body
+                return expr
+
+            callers = [caller for caller_name, caller in
+                       program.functions.items()
+                       if caller_name != name and name in _calls_in(caller.body)]
+            if not callers:
+                continue
+            for caller in callers:
+                caller.body = splice(caller.body)
+            del program.functions[name]
+            progress = True
+            break
+    _simplify_trivial_lets(program)
+    return program
+
+
+def _simplify_trivial_lets(program: AnfProgram) -> None:
+    """Drop ``let v = <var or literal> in body`` by substituting into body.
+
+    Keeps the emitted LATERAL chains short after inlining introduced
+    parameter bindings that are just variable renames.
+    """
+    from .rename import rename_variables
+
+    def subst_in_sql(expr: A.Expr, var: str, value: A.Expr) -> A.Expr:
+        return rename_variables(
+            expr, lambda name: value if name == var else None)
+
+    def subst(expr: AnfExpr, var: str, value: A.Expr) -> AnfExpr:
+        if isinstance(expr, AnfLet):
+            return AnfLet(expr.var, subst_in_sql(expr.value, var, value),
+                          subst(expr.body, var, value))
+        if isinstance(expr, AnfIf):
+            return AnfIf(subst_in_sql(expr.condition, var, value),
+                         subst(expr.then_branch, var, value),
+                         subst(expr.else_branch, var, value))
+        if isinstance(expr, AnfCall):
+            return AnfCall(expr.func,
+                           [subst_in_sql(a, var, value) for a in expr.args])
+        assert isinstance(expr, AnfRet)
+        return AnfRet(subst_in_sql(expr.expr, var, value))
+
+    def simplify(expr: AnfExpr) -> AnfExpr:
+        if isinstance(expr, AnfLet):
+            value = expr.value
+            if isinstance(value, A.Literal) or (
+                    isinstance(value, A.ColumnRef) and len(value.parts) == 1):
+                return simplify(subst(expr.body, expr.var, value))
+            return AnfLet(expr.var, value, simplify(expr.body))
+        if isinstance(expr, AnfIf):
+            return AnfIf(expr.condition, simplify(expr.then_branch),
+                         simplify(expr.else_branch))
+        return expr
+
+    for func in program.functions.values():
+        func.body = simplify(func.body)

@@ -1,0 +1,113 @@
+"""Dominator tree and dominance frontiers (Cooper–Harvey–Kennedy).
+
+Used by :mod:`repro.compiler.ssa` for φ placement per Cytron et al. [4 in
+the paper].  The implementation is the classic "A Simple, Fast Dominance
+Algorithm": iterate intersections over a reverse-postorder numbering until
+fixpoint, then read dominance frontiers off join points.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+
+def reverse_postorder(entry: int, successors: dict[int, list[int]]) -> list[int]:
+    """Reverse postorder of the nodes reachable from *entry* (iterative)."""
+    visited: set[int] = set()
+    order: list[int] = []
+    stack: list[tuple[int, Iterable[int]]] = [(entry, iter(successors.get(entry, ())))]
+    visited.add(entry)
+    while stack:
+        node, it = stack[-1]
+        advanced = False
+        for succ in it:
+            if succ not in visited:
+                visited.add(succ)
+                stack.append((succ, iter(successors.get(succ, ()))))
+                advanced = True
+                break
+        if not advanced:
+            order.append(node)
+            stack.pop()
+    order.reverse()
+    return order
+
+
+class DominatorInfo:
+    """Immediate dominators, dominator tree children, dominance frontiers."""
+
+    def __init__(self, entry: int, successors: dict[int, list[int]]):
+        self.entry = entry
+        self.rpo = reverse_postorder(entry, successors)
+        self._rpo_index = {node: i for i, node in enumerate(self.rpo)}
+        predecessors: dict[int, list[int]] = {node: [] for node in self.rpo}
+        for node in self.rpo:
+            for succ in successors.get(node, ()):
+                if succ in self._rpo_index:
+                    predecessors[succ].append(node)
+        self.predecessors = predecessors
+        self.idom = self._compute_idoms()
+        self.children: dict[int, list[int]] = {node: [] for node in self.rpo}
+        for node, dom in self.idom.items():
+            if node != self.entry and dom is not None:
+                self.children[dom].append(node)
+        self.frontiers = self._compute_frontiers()
+
+    # ------------------------------------------------------------------
+
+    def _intersect(self, a: int, b: int, idom: dict[int, Optional[int]]) -> int:
+        index = self._rpo_index
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while index[b] > index[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    def _compute_idoms(self) -> dict[int, Optional[int]]:
+        idom: dict[int, Optional[int]] = {node: None for node in self.rpo}
+        idom[self.entry] = self.entry
+        changed = True
+        while changed:
+            changed = False
+            for node in self.rpo:
+                if node == self.entry:
+                    continue
+                candidates = [p for p in self.predecessors[node]
+                              if idom[p] is not None]
+                if not candidates:
+                    continue
+                new_idom = candidates[0]
+                for other in candidates[1:]:
+                    new_idom = self._intersect(other, new_idom, idom)
+                if idom[node] != new_idom:
+                    idom[node] = new_idom
+                    changed = True
+        idom[self.entry] = None  # conventional: entry has no idom
+        return idom
+
+    def _compute_frontiers(self) -> dict[int, set[int]]:
+        frontiers: dict[int, set[int]] = {node: set() for node in self.rpo}
+        for node in self.rpo:
+            preds = self.predecessors[node]
+            if len(preds) < 2:
+                continue
+            for pred in preds:
+                runner: Optional[int] = pred
+                while runner is not None and runner != self.idom[node]:
+                    frontiers[runner].add(node)
+                    runner = self.idom[runner]
+        return frontiers
+
+    # ------------------------------------------------------------------
+
+    def dominates(self, a: int, b: int) -> bool:
+        """Does *a* dominate *b* (reflexively)?"""
+        node: Optional[int] = b
+        while node is not None:
+            if node == a:
+                return True
+            if node == self.entry:
+                return False
+            node = self.idom[node]
+        return False

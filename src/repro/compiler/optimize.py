@@ -1,0 +1,457 @@
+"""SSA-level optimizations.
+
+"The SSA invariant facilitates a wide range of code simplifications, among
+these the tracking of redundant code, constant propagation, or strength
+reduction" (paper, Section 2).  We implement the classic set — each pass is
+small because SSA makes them small:
+
+* φ simplification (single-operand / all-identical φs become copies),
+* copy propagation and constant propagation,
+* constant folding (pure operators only; division is never folded unless
+  the divisor is a non-zero literal — errors must stay at run time),
+* dead code elimination (volatile expressions such as ``random()`` are
+  never removed: the compiled function must draw the same random sequence
+  as the interpreted one),
+* jump threading (empty forwarding blocks disappear),
+* block merging (straight-line chains collapse — this is what shrinks the
+  paper's L0 into L1 between Figures 5 and 6).
+
+All passes preserve the SSA invariants; :func:`optimize_ssa` iterates them
+to a fixpoint (bounded), and the pipeline can disable them for ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sql import ast as A
+from ..sql.astutil import walk_expr
+from ..sql.functions import VOLATILE_FUNCTIONS
+from ..sql.values import sql_and, sql_eq, sql_ge, sql_gt, sql_le, sql_lt, sql_ne, sql_not, sql_or
+from .cfg import CondGoto, Goto, Return
+from .rename import collect_variable_uses, rename_variables
+from .ssa import Phi, SsaAssign, SsaProgram
+
+
+def expr_is_volatile(expr: A.Expr) -> bool:
+    """True when *expr* (or an embedded query) calls a volatile function."""
+    for node in walk_expr(expr):
+        if isinstance(node, A.FuncCall) and node.name.lower() in VOLATILE_FUNCTIONS:
+            return True
+        if isinstance(node, A.ScalarSubquery):
+            if _select_is_volatile(node.query):
+                return True
+        elif isinstance(node, A.Exists):
+            if _select_is_volatile(node.subquery):
+                return True
+        elif isinstance(node, A.InSubquery):
+            if _select_is_volatile(node.subquery):
+                return True
+    return False
+
+
+def _select_is_volatile(stmt: A.SelectStmt) -> bool:
+    from ..sql.astutil import _walk_select
+
+    hit = False
+
+    class _Visitor:
+        def visit(self, expr: A.Expr) -> None:
+            nonlocal hit
+            if not hit and expr_is_volatile(expr):
+                hit = True
+
+    _walk_select(stmt, _Visitor())
+    return hit
+
+
+class _Subst:
+    """name -> replacement expression (copies and constants)."""
+
+    def __init__(self, catalog=None):
+        self.map: dict[str, A.Expr] = {}
+        self.catalog = catalog
+
+    def resolve(self, name: str) -> Optional[A.Expr]:
+        seen = set()
+        expr: Optional[A.Expr] = None
+        current = name
+        while current in self.map and current not in seen:
+            seen.add(current)
+            expr = self.map[current]
+            if isinstance(expr, A.ColumnRef) and len(expr.parts) == 1:
+                current = expr.parts[0]
+            else:
+                break
+        return expr
+
+    def resolve_name(self, name: str) -> str:
+        """Follow copy chains name -> name (for φ operands)."""
+        seen = set()
+        current = name
+        while current in self.map and current not in seen:
+            seen.add(current)
+            expr = self.map[current]
+            if isinstance(expr, A.ColumnRef) and len(expr.parts) == 1:
+                current = expr.parts[0]
+            else:
+                break
+        return current
+
+    def apply(self, expr: A.Expr) -> A.Expr:
+        if not self.map:
+            return expr
+        return rename_variables(expr, self.resolve, self.catalog)
+
+
+def optimize_ssa(program: SsaProgram, catalog=None,
+                 max_rounds: int = 10) -> SsaProgram:
+    """Run the optimization pipeline to a (bounded) fixpoint, in place."""
+    for _ in range(max_rounds):
+        changed = False
+        changed |= simplify_phis(program)
+        changed |= propagate_copies_and_constants(program, catalog)
+        changed |= fold_constants(program)
+        changed |= eliminate_dead_code(program, catalog)
+        changed |= thread_jumps(program)
+        changed |= merge_blocks(program)
+        if not changed:
+            break
+    return program
+
+
+# ---------------------------------------------------------------------------
+# Individual passes
+# ---------------------------------------------------------------------------
+
+
+def simplify_phis(program: SsaProgram) -> bool:
+    """φs whose operands all agree (modulo self-reference) become copies."""
+    changed = False
+    for block in program.blocks.values():
+        kept: list[Phi] = []
+        for phi in block.phis:
+            operands = {operand for pred, operand in phi.args.items()
+                        if operand != phi.target}
+            if len(phi.args) <= 1 or len(operands) == 1:
+                operand = next(iter(operands)) if operands else None
+                expr: A.Expr = (A.ColumnRef((operand,)) if operand is not None
+                                else A.Literal(None))
+                block.stmts.insert(0, SsaAssign(phi.target, expr))
+                changed = True
+            else:
+                kept.append(phi)
+        block.phis = kept
+    return changed
+
+
+def propagate_copies_and_constants(program: SsaProgram, catalog=None) -> bool:
+    """Substitute ``x_k := y_j`` copies and ``x_k := literal`` constants."""
+    subst = _Subst(catalog)
+    for block in program.blocks.values():
+        for stmt in block.stmts:
+            expr = stmt.expr
+            if isinstance(expr, A.Literal):
+                subst.map[stmt.target] = expr
+            elif isinstance(expr, A.ColumnRef) and len(expr.parts) == 1 \
+                    and expr.parts[0] in program.var_types:
+                subst.map[stmt.target] = expr
+    if not subst.map:
+        return False
+    changed = False
+    for block in program.blocks.values():
+        for phi in block.phis:
+            for pred, operand in list(phi.args.items()):
+                if operand is None:
+                    continue
+                resolved = subst.resolve_name(operand)
+                if resolved != operand:
+                    phi.args[pred] = resolved
+                    changed = True
+        for stmt in block.stmts:
+            new_expr = subst.apply(stmt.expr)
+            if new_expr is not stmt.expr:
+                stmt.expr = new_expr
+                changed = True
+        terminator = block.terminator
+        if isinstance(terminator, CondGoto):
+            new_cond = subst.apply(terminator.condition)
+            if new_cond is not terminator.condition:
+                terminator.condition = new_cond
+                changed = True
+        elif isinstance(terminator, Return):
+            new_expr = subst.apply(terminator.expr)
+            if new_expr is not terminator.expr:
+                terminator.expr = new_expr
+                changed = True
+    return changed
+
+
+_FOLD_COMPARE = {"=": sql_eq, "<>": sql_ne, "<": sql_lt, "<=": sql_le,
+                 ">": sql_gt, ">=": sql_ge}
+
+
+def _fold_expr(expr: A.Expr) -> A.Expr:
+    """Bottom-up constant folding of pure scalar operators."""
+    import dataclasses
+
+    # Fold children first (shallow rebuild, not crossing subqueries).
+    changes = {}
+    for fld in dataclasses.fields(expr):  # type: ignore[arg-type]
+        value = getattr(expr, fld.name)
+        if isinstance(value, A.Expr):
+            new = _fold_expr(value)
+            if new is not value:
+                changes[fld.name] = new
+        elif isinstance(value, list) and value and all(
+                isinstance(v, (A.Expr, tuple)) for v in value):
+            new_list = []
+            dirty = False
+            for element in value:
+                if isinstance(element, A.Expr):
+                    new_element = _fold_expr(element)
+                elif isinstance(element, tuple):
+                    new_element = tuple(_fold_expr(p) if isinstance(p, A.Expr)
+                                        else p for p in element)
+                else:
+                    new_element = element
+                dirty = dirty or new_element is not element
+                new_list.append(new_element)
+            if dirty:
+                changes[fld.name] = new_list
+    if changes:
+        expr = dataclasses.replace(expr, **changes)  # type: ignore[type-var]
+
+    if isinstance(expr, A.UnaryOp) and isinstance(expr.operand, A.Literal):
+        value = expr.operand.value
+        if expr.op == "not" and (value is None or isinstance(value, bool)):
+            return A.Literal(sql_not(value))
+        if expr.op == "-" and isinstance(value, (int, float)) \
+                and not isinstance(value, bool):
+            return A.Literal(-value)
+    if isinstance(expr, A.BinaryOp) and isinstance(expr.left, A.Literal) \
+            and isinstance(expr.right, A.Literal):
+        a, b = expr.left.value, expr.right.value
+        op = expr.op
+        try:
+            if op in _FOLD_COMPARE:
+                return A.Literal(_FOLD_COMPARE[op](a, b))
+            if op == "and":
+                return A.Literal(sql_and(a, b))
+            if op == "or":
+                return A.Literal(sql_or(a, b))
+            if a is None or b is None:
+                if op in ("+", "-", "*", "/", "%", "||"):
+                    return A.Literal(None)
+            elif isinstance(a, (int, float)) and isinstance(b, (int, float)) \
+                    and not isinstance(a, bool) and not isinstance(b, bool):
+                if op == "+":
+                    return A.Literal(a + b)
+                if op == "-":
+                    return A.Literal(a - b)
+                if op == "*":
+                    return A.Literal(a * b)
+                # '/' and '%' fold only for non-zero literal divisors.
+                if op in ("/", "%") and b != 0:
+                    from ..sql.expr import _div, _mod
+                    return A.Literal(_div(a, b) if op == "/" else _mod(a, b))
+            elif isinstance(a, str) and isinstance(b, str) and op == "||":
+                return A.Literal(a + b)
+        except Exception:
+            return expr
+    if isinstance(expr, A.CaseExpr) and expr.operand is None:
+        whens = []
+        for condition, result in expr.whens:
+            if isinstance(condition, A.Literal):
+                if condition.value is True:
+                    if not whens:
+                        return result
+                    whens.append((condition, result))
+                    break
+                continue  # constant false/NULL: branch unreachable
+            whens.append((condition, result))
+        if not whens:
+            return expr.else_result if expr.else_result is not None \
+                else A.Literal(None)
+        if whens != expr.whens:
+            return A.CaseExpr(None, whens, expr.else_result)
+    if isinstance(expr, A.FuncCall) and expr.name.lower() == "coalesce":
+        args = expr.args
+        out = []
+        for arg in args:
+            if isinstance(arg, A.Literal):
+                if arg.value is not None:
+                    out.append(arg)
+                    break
+                continue
+            out.append(arg)
+        if len(out) == 1:
+            return out[0]
+        if not out:
+            return A.Literal(None)
+        if len(out) != len(args):
+            return A.FuncCall("coalesce", out)
+    return expr
+
+
+def fold_constants(program: SsaProgram) -> bool:
+    changed = False
+    for block in program.blocks.values():
+        for stmt in block.stmts:
+            folded = _fold_expr(stmt.expr)
+            if folded is not stmt.expr:
+                stmt.expr = folded
+                changed = True
+        terminator = block.terminator
+        if isinstance(terminator, CondGoto):
+            folded = _fold_expr(terminator.condition)
+            if folded is not terminator.condition:
+                terminator.condition = folded
+                changed = True
+            if isinstance(terminator.condition, A.Literal):
+                target = (terminator.then_target
+                          if terminator.condition.value is True
+                          else terminator.else_target)
+                block.terminator = Goto(target)
+                changed = True
+        elif isinstance(terminator, Return):
+            folded = _fold_expr(terminator.expr)
+            if folded is not terminator.expr:
+                terminator.expr = folded
+                changed = True
+    return changed
+
+
+def eliminate_dead_code(program: SsaProgram, catalog=None) -> bool:
+    """Remove assignments and φs whose targets are never used.
+
+    Volatile expressions (``random()``) survive: removing one would shift
+    the RNG sequence and desynchronise compiled vs interpreted runs.
+    """
+    names = set(program.var_types)
+    changed = False
+    while True:
+        used: set[str] = set()
+        for block in program.blocks.values():
+            for phi in block.phis:
+                for operand in phi.args.values():
+                    if operand is not None:
+                        used.add(operand)
+            for stmt in block.stmts:
+                used |= collect_variable_uses(stmt.expr, names, catalog)
+            terminator = block.terminator
+            if isinstance(terminator, CondGoto):
+                used |= collect_variable_uses(terminator.condition, names, catalog)
+            elif isinstance(terminator, Return):
+                used |= collect_variable_uses(terminator.expr, names, catalog)
+        removed = False
+        for block in program.blocks.values():
+            kept_stmts = []
+            for stmt in block.stmts:
+                if stmt.target not in used and not expr_is_volatile(stmt.expr):
+                    removed = True
+                    continue
+                kept_stmts.append(stmt)
+            block.stmts = kept_stmts
+            kept_phis = []
+            for phi in block.phis:
+                if phi.target not in used:
+                    removed = True
+                    continue
+                kept_phis.append(phi)
+            block.phis = kept_phis
+        if not removed:
+            break
+        changed = True
+    return changed
+
+
+def thread_jumps(program: SsaProgram) -> bool:
+    """Bypass empty blocks that merely ``goto`` somewhere else."""
+    changed = False
+    preds = program.predecessors()
+    for bid in program.block_ids():
+        block = program.blocks.get(bid)
+        if block is None or bid == program.entry:
+            continue
+        if block.phis or block.stmts or not isinstance(block.terminator, Goto):
+            continue
+        target_bid = block.terminator.target
+        if target_bid == bid:
+            continue  # self-loop (infinite loop) — leave alone
+        target = program.blocks[target_bid]
+        redirected_all = True
+        for pred_bid in list(preds.get(bid, ())):
+            pred = program.blocks.get(pred_bid)
+            if pred is None:
+                continue
+            # Don't create a duplicate edge with conflicting φ operands.
+            conflict = False
+            if pred_bid in preds.get(target_bid, ()):
+                for phi in target.phis:
+                    if phi.args.get(pred_bid) != phi.args.get(bid):
+                        conflict = True
+                        break
+            if conflict:
+                redirected_all = False
+                continue
+            _redirect(pred, bid, target_bid)
+            for phi in target.phis:
+                phi.args[pred_bid] = phi.args.get(bid)
+            preds.setdefault(target_bid, []).append(pred_bid)
+            preds[bid].remove(pred_bid)
+            changed = True
+        if redirected_all and not preds.get(bid):
+            for phi in target.phis:
+                phi.args.pop(bid, None)
+            del program.blocks[bid]
+            changed = True
+    return changed
+
+
+def _redirect(block, old_target: int, new_target: int) -> None:
+    terminator = block.terminator
+    if isinstance(terminator, Goto) and terminator.target == old_target:
+        terminator.target = new_target
+    elif isinstance(terminator, CondGoto):
+        if terminator.then_target == old_target:
+            terminator.then_target = new_target
+        if terminator.else_target == old_target:
+            terminator.else_target = new_target
+
+
+def merge_blocks(program: SsaProgram) -> bool:
+    """Merge B into A when A ends ``goto B`` and B's only pred is A."""
+    changed = False
+    while True:
+        preds = program.predecessors()
+        merged = False
+        for bid in program.block_ids():
+            block = program.blocks.get(bid)
+            if block is None or not isinstance(block.terminator, Goto):
+                continue
+            target_bid = block.terminator.target
+            if target_bid == bid or target_bid == program.entry:
+                continue
+            if len(preds.get(target_bid, [])) != 1:
+                continue
+            target = program.blocks[target_bid]
+            if target.phis:
+                # Single-pred φs should have been simplified already; be safe.
+                continue
+            block.stmts.extend(target.stmts)
+            block.terminator = target.terminator
+            # Successor φs that referenced the merged block now come from us.
+            for successor in target.successors():
+                succ = program.blocks.get(successor)
+                if succ is None:
+                    continue
+                for phi in succ.phis:
+                    if target_bid in phi.args:
+                        phi.args[bid] = phi.args.pop(target_bid)
+            del program.blocks[target_bid]
+            merged = True
+            changed = True
+            break
+        if not merged:
+            return changed

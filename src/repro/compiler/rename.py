@@ -1,0 +1,227 @@
+"""Scope-aware renaming of PL/pgSQL variable references inside expressions.
+
+PL/pgSQL expressions are SQL expressions; a bare identifier may be a
+function variable *or* a column of a table inside an embedded query.  When
+the SSA pass renames ``reward`` to ``reward_2`` it must rename only the
+variable references — a bare ``reward`` that resolves to a column of the
+embedded query's own FROM clause must stay, and a name visible as *both* is
+ambiguous (PostgreSQL raises; so do we).
+
+The shadow analysis walks subqueries, collecting the column names each
+nesting level contributes: base-table columns come from the catalog,
+derived tables from their alias lists or select-item names.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional
+
+from ..sql import ast as A
+from ..sql.errors import CompileError
+
+Renamer = Callable[[str], Optional[A.Expr]]
+
+
+def rename_variables(expr: A.Expr, rename: Renamer, catalog=None,
+                     shadowed: frozenset[str] = frozenset()) -> A.Expr:
+    """Rewrite bare variable references in *expr* via *rename*.
+
+    ``rename(name)`` returns the replacement expression (usually a renamed
+    :class:`~repro.sql.ast.ColumnRef`) or ``None`` when the name is not a
+    function variable.  *catalog* (optional) supplies base-table schemas for
+    shadow analysis inside embedded queries.
+    """
+    return _Renamer(rename, catalog).expr(expr, shadowed)
+
+
+class _Renamer:
+    def __init__(self, rename: Renamer, catalog):
+        self.rename = rename
+        self.catalog = catalog
+
+    # -- expressions -----------------------------------------------------
+
+    def expr(self, node: A.Expr, shadowed: frozenset[str]) -> A.Expr:
+        if isinstance(node, A.ColumnRef):
+            if len(node.parts) == 1:
+                name = node.parts[0].lower()
+                replacement = self.rename(name)
+                if replacement is not None:
+                    if name in shadowed:
+                        raise CompileError(
+                            f"column reference {name!r} is ambiguous: it may "
+                            "refer to either a PL/pgSQL variable or a table "
+                            "column — qualify the column or rename the "
+                            "variable")
+                    return replacement
+            return node
+        if isinstance(node, A.ScalarSubquery):
+            return A.ScalarSubquery(self.select(node.query, shadowed))
+        if isinstance(node, A.Exists):
+            return A.Exists(self.select(node.subquery, shadowed))
+        if isinstance(node, A.InSubquery):
+            return A.InSubquery(self.expr(node.operand, shadowed),
+                                self.select(node.subquery, shadowed),
+                                node.negated)
+        return self._rebuild(node, shadowed)
+
+    def _rebuild(self, node: A.Expr, shadowed: frozenset[str]) -> A.Expr:
+        changes = {}
+        for fld in dataclasses.fields(node):  # type: ignore[arg-type]
+            value = getattr(node, fld.name)
+            if isinstance(value, A.Expr):
+                new = self.expr(value, shadowed)
+                if new is not value:
+                    changes[fld.name] = new
+            elif isinstance(value, list) and value:
+                new_list = []
+                dirty = False
+                for item in value:
+                    if isinstance(item, A.Expr):
+                        new_item = self.expr(item, shadowed)
+                    elif isinstance(item, tuple) and any(
+                            isinstance(p, A.Expr) for p in item):
+                        new_item = tuple(self.expr(p, shadowed)
+                                         if isinstance(p, A.Expr) else p
+                                         for p in item)
+                    else:
+                        new_item = item
+                    dirty = dirty or new_item is not item
+                    new_list.append(new_item)
+                if dirty:
+                    changes[fld.name] = new_list
+        if not changes:
+            return node
+        return dataclasses.replace(node, **changes)  # type: ignore[type-var]
+
+    # -- queries ----------------------------------------------------------
+
+    def select(self, stmt: A.SelectStmt, shadowed: frozenset[str]) -> A.SelectStmt:
+        with_clause = stmt.with_clause
+        if with_clause is not None:
+            with_clause = A.WithClause(
+                with_clause.recursive,
+                [A.CommonTableExpr(c.name, c.column_names,
+                                   self.select(c.query, shadowed))
+                 for c in with_clause.ctes],
+                with_clause.iterate)
+        body = self.body(stmt.body, shadowed)
+        inner = shadowed | self._body_columns(stmt.body)
+        return A.SelectStmt(
+            with_clause, body,
+            order_by=[A.SortItem(self.expr(s.expr, inner), s.descending,
+                                 s.nulls_first) for s in stmt.order_by],
+            limit=self.expr(stmt.limit, inner) if stmt.limit is not None else None,
+            offset=(self.expr(stmt.offset, inner)
+                    if stmt.offset is not None else None),
+        )
+
+    def body(self, body, shadowed: frozenset[str]):
+        if isinstance(body, A.SetOp):
+            return A.SetOp(body.op, self.body(body.left, shadowed),
+                           self.body(body.right, shadowed))
+        if isinstance(body, A.ValuesClause):
+            return A.ValuesClause([[self.expr(e, shadowed) for e in row]
+                                   for row in body.rows])
+        core: A.SelectCore = body
+        inner = shadowed | self._from_columns(core.from_clause)
+        items = [item if isinstance(item, A.Star)
+                 else A.SelectItem(self.expr(item.expr, inner), item.alias)
+                 for item in core.items]
+        return A.SelectCore(
+            items=items,
+            from_clause=self.table(core.from_clause, shadowed),
+            where=(self.expr(core.where, inner)
+                   if core.where is not None else None),
+            group_by=[self.expr(e, inner) for e in core.group_by],
+            having=(self.expr(core.having, inner)
+                    if core.having is not None else None),
+            distinct=core.distinct,
+            windows={name: A.WindowSpec(
+                ref_name=spec.ref_name,
+                partition_by=[self.expr(e, inner) for e in spec.partition_by],
+                order_by=[A.SortItem(self.expr(s.expr, inner), s.descending,
+                                     s.nulls_first) for s in spec.order_by],
+                frame=spec.frame)
+                for name, spec in core.windows.items()},
+        )
+
+    def table(self, ref, shadowed: frozenset[str]):
+        if ref is None:
+            return None
+        if isinstance(ref, A.TableName):
+            return ref
+        if isinstance(ref, A.SubqueryRef):
+            # A non-lateral FROM subquery cannot see the outer variables of
+            # its own level, but *can* see the function's variables (they are
+            # globals from SQL's perspective); lateral additionally sees
+            # sibling columns.  Either way the same shadow set applies.
+            return A.SubqueryRef(self.select(ref.query, shadowed), ref.alias,
+                                 ref.column_aliases, ref.lateral)
+        if isinstance(ref, A.Join):
+            inner = shadowed | self._from_columns(ref)
+            condition = (self.expr(ref.condition, inner)
+                         if ref.condition is not None else None)
+            return A.Join(ref.kind, self.table(ref.left, shadowed),
+                          self.table(ref.right, shadowed), condition)
+        raise CompileError(f"unknown table ref {type(ref).__name__}")
+
+    # -- shadow sets --------------------------------------------------------
+
+    def _body_columns(self, body) -> frozenset[str]:
+        if isinstance(body, A.SetOp):
+            return self._body_columns(body.left)
+        if isinstance(body, A.ValuesClause):
+            return frozenset()
+        return self._from_columns(body.from_clause)
+
+    def _from_columns(self, ref) -> frozenset[str]:
+        if ref is None:
+            return frozenset()
+        if isinstance(ref, A.TableName):
+            if ref.column_aliases:
+                return frozenset(c.lower() for c in ref.column_aliases)
+            if self.catalog is not None:
+                table = self.catalog.tables.get(ref.name.lower())
+                if table is not None:
+                    return frozenset(table.column_names)
+            return frozenset()
+        if isinstance(ref, A.SubqueryRef):
+            if ref.column_aliases:
+                return frozenset(c.lower() for c in ref.column_aliases)
+            return self._derived_columns(ref.query)
+        if isinstance(ref, A.Join):
+            return self._from_columns(ref.left) | self._from_columns(ref.right)
+        return frozenset()
+
+    def _derived_columns(self, stmt: A.SelectStmt) -> frozenset[str]:
+        body = stmt.body
+        while isinstance(body, A.SetOp):
+            body = body.left
+        if isinstance(body, A.ValuesClause):
+            return frozenset()
+        out: set[str] = set()
+        for item in body.items:
+            if isinstance(item, A.Star):
+                out |= self._from_columns(body.from_clause)
+            elif item.alias:
+                out.add(item.alias.lower())
+            elif isinstance(item.expr, A.ColumnRef):
+                out.add(item.expr.parts[-1].lower())
+        return frozenset(out)
+
+
+def collect_variable_uses(expr: A.Expr, variables: set[str], catalog=None) -> set[str]:
+    """Names from *variables* referenced (as variables) in *expr*."""
+    used: set[str] = set()
+
+    def probe(name: str) -> Optional[A.Expr]:
+        if name in variables:
+            # Over-approximates: a shadowed column sharing a variable's name
+            # also counts.  Safe for liveness (at worst an extra parameter).
+            used.add(name)
+        return None  # never rewrite; we only observe
+
+    rename_variables(expr, probe, catalog)
+    return used

@@ -1,0 +1,275 @@
+"""The ``WITH RECURSIVE`` code template (the paper's **SQL** step, Fig. 8/9).
+
+The tail-recursive UDF ``f*`` is *simulated* by a CTE ``run`` that tracks
+its evaluation::
+
+    WITH RECURSIVE run("call?", fn, <vars...>, result) AS (
+      SELECT base.*                                  -- original invocation
+      FROM (SELECT <adapted main>) AS base(...)
+      UNION ALL
+      SELECT iter.*                                  -- calls and base cases
+      FROM run AS r,
+           LATERAL (SELECT <adapted body>) AS iter(...)
+      WHERE r."call?"
+    )
+    SELECT r.result FROM run AS r WHERE NOT r."call?"
+
+Adaptation replaces each recursive call site with a ``ROW(true, args, NULL)``
+constructor and each base-case result with ``ROW(false, NULLs, v)`` — a
+plain AST traversal, done here at the ANF level so the shared translation
+machinery of :mod:`repro.compiler.udf` emits the final SQL.
+
+The run table's ``args`` are flattened into one column per UDF parameter
+(the paper's ``args`` abbreviation, footnote 2).  ``WITH ITERATE`` uses the
+identical template with the ITERATE keyword — only the engine-side working
+table behaviour differs.
+"""
+
+from __future__ import annotations
+
+from ..sql import ast as A
+from ..sql.errors import CompileError
+from .anf import AnfCall
+from .rename import rename_variables
+from .udf import LET_STYLE_LATERAL, SqlUdf, translate_anf, udf_is_recursive
+
+RUN_ALIAS = "r"
+CALL_COLUMN = "call?"
+
+
+def run_columns(udf: SqlUdf) -> list[str]:
+    return [CALL_COLUMN] + udf.rec_params + ["result"]
+
+
+def _call_row(udf: SqlUdf, call: AnfCall) -> A.Expr:
+    anf = udf.anf
+    target = anf.functions.get(call.func)
+    if target is None:
+        raise CompileError(f"call to unknown function {call.func!r}")
+    by_param = dict(zip(target.params, call.args))
+    items: list[A.Expr] = [A.Literal(True), A.Literal(udf.labels[call.func])]
+    for param in udf.rec_params[1:]:
+        items.append(by_param.get(param, A.Literal(None)))
+    items.append(A.Cast(A.Literal(None), udf.return_type))
+    return A.RowExpr(items)
+
+
+def _result_row(udf: SqlUdf, value: A.Expr) -> A.Expr:
+    items: list[A.Expr] = [A.Literal(False)]
+    items.extend(A.Literal(None) for _ in udf.rec_params)
+    items.append(value)
+    return A.RowExpr(items)
+
+
+def _translate_substituted(expr, on_tail) -> A.Expr:
+    """Translate an ANF expression to a *single scalar expression* with let
+    bindings inlined by substitution (no FROM chains at all).
+
+    This is the SQLite rewrite: the engine lacks LATERAL, and correlated
+    derived tables are off the menu too, so each ``run`` column is computed
+    by an independent copy of the body with lets substituted away.  The
+    duplication is only sound for non-volatile bodies — the caller checks.
+    """
+    from .anf import AnfCall, AnfIf, AnfLet, AnfRet
+
+    if isinstance(expr, AnfRet) or isinstance(expr, AnfCall):
+        return on_tail(expr)
+    if isinstance(expr, AnfIf):
+        return A.CaseExpr(None, [(expr.condition,
+                                  _translate_substituted(expr.then_branch,
+                                                         on_tail))],
+                          _translate_substituted(expr.else_branch, on_tail))
+    if isinstance(expr, AnfLet):
+        body = _translate_substituted(expr.body, on_tail)
+        value = expr.value
+        condition_free = rename_variables(
+            body, lambda name: value if name == expr.var else None)
+        return condition_free
+    raise CompileError(f"unknown ANF node {type(expr).__name__}")
+
+
+def _assert_not_volatile(udf: SqlUdf) -> None:
+    from .anf import AnfCall, AnfIf, AnfLet, AnfRet
+    from .optimize import expr_is_volatile
+
+    def check(expr) -> None:
+        if isinstance(expr, AnfLet):
+            if expr_is_volatile(expr.value):
+                raise CompileError(
+                    "the LATERAL-free (SQLite) rewrite duplicates "
+                    "expressions per output column; volatile functions "
+                    "(random()) would be drawn more than once — not "
+                    "supported for this function")
+            check(expr.body)
+        elif isinstance(expr, AnfIf):
+            check(expr.then_branch)
+            check(expr.else_branch)
+
+    for func in udf.anf.functions.values():
+        check(func.body)
+
+
+def build_split_template_query(udf: SqlUdf, iterate: bool = False) -> A.SelectStmt:
+    """The Figure 8 template without any LATERAL: each run column is an
+    independent scalar expression (SQLite-compatible rewrite)."""
+    if not udf_is_recursive(udf):
+        return build_template_query(udf, iterate, "nested")
+    _assert_not_volatile(udf)
+    columns = run_columns(udf)
+    anf = udf.anf
+    param_map = {name: A.Param(index + 1)
+                 for index, name in enumerate(udf.params)}
+
+    def column_exprs(body, binder) -> list[A.Expr]:
+        out = []
+        for index in range(len(columns)):
+            def on_tail(tail, index=index):
+                from .anf import AnfCall
+                row = (_call_row(udf, tail) if isinstance(tail, AnfCall)
+                       else _result_row(udf, tail.expr))
+                return row.items[index]
+
+            expr = _translate_substituted(body, on_tail)
+            out.append(rename_variables(expr, binder))
+        return out
+
+    entry = anf.functions[anf.entry]
+    base_core = A.SelectCore(items=[
+        A.SelectItem(e, alias=columns[i]) for i, e in enumerate(
+            column_exprs(entry.body, lambda n: param_map.get(n)))])
+
+    whens_per_function = [(func, A.BinaryOp("=", A.ColumnRef((RUN_ALIAS, "fn")),
+                                            A.Literal(udf.labels[func.name])))
+                          for func in anf.recursive_functions()]
+
+    exprs_per_function = []
+    for func, condition in whens_per_function:
+        # Bind only this function's own parameters (see _dispatch_body).
+        own = {name: A.ColumnRef((RUN_ALIAS, name)) for name in func.params}
+        exprs_per_function.append(
+            (condition, column_exprs(func.body, lambda n: own.get(n))))
+    rec_items = []
+    for index in range(len(columns)):
+        branches = [(condition, exprs[index])
+                    for condition, exprs in exprs_per_function]
+        expr = (branches[0][1] if len(branches) == 1
+                else A.CaseExpr(None, branches[:-1], branches[-1][1]))
+        rec_items.append(A.SelectItem(expr, alias=columns[index]))
+    rec_core = A.SelectCore(
+        items=rec_items,
+        from_clause=A.TableName("run", alias=RUN_ALIAS),
+        where=A.ColumnRef((RUN_ALIAS, CALL_COLUMN)))
+
+    cte = A.CommonTableExpr(
+        "run", list(columns),
+        A.SelectStmt(None, A.SetOp("union_all", base_core, rec_core)))
+    final_core = A.SelectCore(
+        items=[A.SelectItem(A.ColumnRef((RUN_ALIAS, "result")), alias="result")],
+        from_clause=A.TableName("run", alias=RUN_ALIAS),
+        where=A.UnaryOp("not", A.ColumnRef((RUN_ALIAS, CALL_COLUMN))))
+    return A.SelectStmt(A.WithClause(recursive=True, ctes=[cte],
+                                     iterate=iterate), final_core)
+
+
+def build_template_query(udf: SqlUdf, iterate: bool = False,
+                         let_style: str = LET_STYLE_LATERAL) -> A.SelectStmt:
+    """Produce the pure-SQL query Qf for *udf*.
+
+    Function parameters appear as ``$n`` placeholders; the planner (or
+    :mod:`repro.compiler.inline`) splices call-site arguments into them.
+    Loop-free functions skip the CTE entirely: Qf is just the translated
+    body, exactly as in Froid.
+    """
+    param_map = {name: A.Param(index + 1)
+                 for index, name in enumerate(udf.params)}
+
+    def bind_params(expr: A.Expr) -> A.Expr:
+        return rename_variables(expr, lambda n: param_map.get(n))
+
+    if not udf_is_recursive(udf):
+        entry = udf.anf.functions[udf.anf.entry]
+        body = translate_anf(entry.body,
+                             on_call=_no_calls_expected,
+                             on_return=lambda v: v,
+                             let_style=let_style)
+        return _scalar_stmt(bind_params(body))
+
+    columns = run_columns(udf)
+    anf = udf.anf
+
+    # Base term: the entry expression with calls/returns encoded as rows.
+    entry = anf.functions[anf.entry]
+    base_expr = translate_anf(
+        entry.body,
+        on_call=lambda call: _call_row(udf, call),
+        on_return=lambda value: _result_row(udf, value),
+        let_style=let_style)
+    base_expr = bind_params(base_expr)
+    base_core = A.SelectCore(
+        items=[A.Star("base")],
+        from_clause=A.SubqueryRef(_scalar_stmt(base_expr), alias="base",
+                                  column_aliases=list(columns)))
+
+    # Recursive term: the adapted UDF body over the newest run row.
+    body_expr = _dispatch_body(udf, let_style)
+    rec_core = A.SelectCore(
+        items=[A.Star("iter")],
+        from_clause=A.Join(
+            "cross",
+            A.TableName("run", alias=RUN_ALIAS),
+            A.SubqueryRef(_scalar_stmt(body_expr), alias="iter",
+                          column_aliases=list(columns), lateral=True)),
+        where=A.ColumnRef((RUN_ALIAS, CALL_COLUMN)))
+
+    cte = A.CommonTableExpr(
+        "run", list(columns),
+        A.SelectStmt(None, A.SetOp("union_all", base_core, rec_core)))
+
+    final_core = A.SelectCore(
+        items=[A.SelectItem(A.ColumnRef((RUN_ALIAS, "result")), alias="result")],
+        from_clause=A.TableName("run", alias=RUN_ALIAS),
+        where=A.UnaryOp("not", A.ColumnRef((RUN_ALIAS, CALL_COLUMN))))
+
+    return A.SelectStmt(A.WithClause(recursive=True, ctes=[cte],
+                                     iterate=iterate),
+                        final_core)
+
+
+def _dispatch_body(udf: SqlUdf, let_style: str) -> A.Expr:
+    """Figure 9: the UDF body with rows replacing calls and base cases.
+
+    Variable binding is per dispatched function: only *that* function's
+    parameters map to ``r.<name>``.  A name can be a parameter of one
+    function and a let-bound local of another (lambda lifting reuses SSA
+    names), so a global map would capture locals.
+    """
+    anf = udf.anf
+    whens: list[tuple[A.Expr, A.Expr]] = []
+    for func in anf.recursive_functions():
+        condition = A.BinaryOp("=", A.ColumnRef((RUN_ALIAS, "fn")),
+                               A.Literal(udf.labels[func.name]))
+        body = translate_anf(
+            func.body,
+            on_call=lambda call: _call_row(udf, call),
+            on_return=lambda value: _result_row(udf, value),
+            let_style=let_style)
+        own = {name: A.ColumnRef((RUN_ALIAS, name)) for name in func.params}
+        body = rename_variables(body, lambda n: own.get(n))
+        whens.append((condition, body))
+    if len(whens) == 1:
+        return whens[0][1]
+    return A.CaseExpr(None, whens[:-1], whens[-1][1])
+
+
+def _scalar_stmt(expr: A.Expr) -> A.SelectStmt:
+    """``SELECT <expr>`` — unwrapping a redundant scalar-subquery shell."""
+    if isinstance(expr, A.ScalarSubquery):
+        # The let-chain translation already built a single-row SELECT whose
+        # item is the row constructor; use it directly as the FROM body.
+        return expr.query
+    return A.SelectStmt(None, A.SelectCore(items=[A.SelectItem(expr)]))
+
+
+def _no_calls_expected(call: AnfCall) -> A.Expr:
+    raise CompileError("internal: loop-free function still contains a call "
+                       f"to {call.func!r}")

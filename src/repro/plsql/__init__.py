@@ -1,0 +1,14 @@
+"""``repro.plsql`` — the PL/pgSQL front end and interpreter.
+
+The interpreter is the paper's *baseline*: it executes function bodies
+statement by statement, paying a ``Q→f`` context switch on every invocation
+from SQL and an ``f→Qi`` plan-instantiation/teardown round trip on every
+embedded-query evaluation, while "simple" expressions take PostgreSQL's
+fast path (no ExecutorStart/End — see the ``fibonacci`` row of Table 1).
+"""
+
+from .ast import PlsqlFunctionDef
+from .parser import parse_plpgsql_function
+from .interpreter import call_plpgsql
+
+__all__ = ["PlsqlFunctionDef", "parse_plpgsql_function", "call_plpgsql"]

@@ -1,0 +1,184 @@
+"""AST for PL/pgSQL function bodies.
+
+Expressions inside statements are ordinary SQL expression nodes from
+:mod:`repro.sql.ast` — "expressions in these SSA programs are regular SQL
+expressions" (paper, Section 2) — including embedded queries, which appear
+as :class:`repro.sql.ast.ScalarSubquery`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..sql import ast as SA
+
+
+class Stmt:
+    """Base class for PL/pgSQL statements."""
+
+    __slots__ = ()
+
+
+@dataclass
+class Declaration:
+    name: str
+    type_name: str
+    default: Optional[SA.Expr] = None
+
+
+@dataclass
+class Assign(Stmt):
+    target: str
+    expr: SA.Expr
+
+
+@dataclass
+class IfStmt(Stmt):
+    """IF / ELSIF / ELSE; each branch is (condition, statements)."""
+
+    branches: list[tuple[SA.Expr, list[Stmt]]]
+    else_body: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class LoopStmt(Stmt):
+    """Unconditional LOOP ... END LOOP (exits via EXIT/RETURN)."""
+
+    body: list[Stmt]
+    label: Optional[str] = None
+
+
+@dataclass
+class WhileStmt(Stmt):
+    condition: SA.Expr
+    body: list[Stmt]
+    label: Optional[str] = None
+
+
+@dataclass
+class ForRangeStmt(Stmt):
+    """FOR var IN [REVERSE] lo .. hi [BY step] LOOP ... END LOOP."""
+
+    var: str
+    start: SA.Expr
+    stop: SA.Expr
+    body: list[Stmt]
+    step: Optional[SA.Expr] = None
+    reverse: bool = False
+    label: Optional[str] = None
+
+
+@dataclass
+class ForQueryStmt(Stmt):
+    """FOR var IN <query> LOOP — interpreter-only (cursor iteration)."""
+
+    var: str
+    query: SA.SelectStmt
+    body: list[Stmt]
+    label: Optional[str] = None
+
+
+@dataclass
+class ForEachStmt(Stmt):
+    """FOREACH var IN ARRAY expr LOOP ... END LOOP."""
+
+    var: str
+    array: SA.Expr
+    body: list[Stmt]
+    label: Optional[str] = None
+
+
+@dataclass
+class ExitStmt(Stmt):
+    label: Optional[str] = None
+    when: Optional[SA.Expr] = None
+
+
+@dataclass
+class ContinueStmt(Stmt):
+    label: Optional[str] = None
+    when: Optional[SA.Expr] = None
+
+
+@dataclass
+class ReturnStmt(Stmt):
+    expr: Optional[SA.Expr] = None
+
+
+@dataclass
+class PerformStmt(Stmt):
+    """PERFORM <query>: evaluate an embedded query, discard the result."""
+
+    query: SA.SelectStmt
+
+
+@dataclass
+class RaiseStmt(Stmt):
+    level: str  # 'notice' | 'warning' | 'info' | 'exception'
+    message: str
+    args: list[SA.Expr] = field(default_factory=list)
+
+
+@dataclass
+class NullStmt(Stmt):
+    pass
+
+
+@dataclass
+class BlockStmt(Stmt):
+    """Nested DECLARE ... BEGIN ... END block."""
+
+    declarations: list[Declaration]
+    body: list[Stmt]
+    label: Optional[str] = None
+
+
+@dataclass
+class PlsqlFunctionDef:
+    """A parsed PL/pgSQL function."""
+
+    name: str
+    param_names: list[str]
+    param_types: list[str]
+    return_type: str
+    declarations: list[Declaration]
+    body: list[Stmt]
+
+    def all_variables(self) -> list[tuple[str, str]]:
+        """(name, type) of every variable: params, declarations (recursively
+        through nested blocks), and loop variables."""
+        out: list[tuple[str, str]] = list(zip(self.param_names, self.param_types))
+        seen = {n.lower() for n, _ in out}
+
+        def add(name: str, type_name: str) -> None:
+            if name.lower() not in seen:
+                seen.add(name.lower())
+                out.append((name.lower(), type_name))
+
+        def visit(statements: list[Stmt]) -> None:
+            for stmt in statements:
+                if isinstance(stmt, IfStmt):
+                    for _, branch in stmt.branches:
+                        visit(branch)
+                    visit(stmt.else_body)
+                elif isinstance(stmt, (LoopStmt, WhileStmt)):
+                    visit(stmt.body)
+                elif isinstance(stmt, ForRangeStmt):
+                    add(stmt.var, "int")
+                    visit(stmt.body)
+                elif isinstance(stmt, ForQueryStmt):
+                    add(stmt.var, "record")
+                    visit(stmt.body)
+                elif isinstance(stmt, ForEachStmt):
+                    add(stmt.var, "text")
+                    visit(stmt.body)
+                elif isinstance(stmt, BlockStmt):
+                    for declaration in stmt.declarations:
+                        add(declaration.name, declaration.type_name)
+                    visit(stmt.body)
+
+        for declaration in self.declarations:
+            add(declaration.name, declaration.type_name)
+        visit(self.body)
+        return out

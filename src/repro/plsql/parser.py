@@ -1,0 +1,316 @@
+"""Parser for PL/pgSQL function bodies.
+
+Reuses the SQL lexer and expression/select grammar of :mod:`repro.sql.parser`
+for everything inside statements, and adds the statement-level grammar:
+DECLARE sections, assignment (``:=`` or ``=``), IF/ELSIF/ELSE, CASE, the loop
+family (LOOP, WHILE, FOR range, FOR query, FOREACH), EXIT/CONTINUE with
+labels and WHEN guards, RETURN, PERFORM, RAISE, and nested blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sql import ast as SA
+from ..sql.errors import ParseError
+from ..sql.lexer import IDENT, OP, STRING, TokenStream
+from ..sql.parser import SqlParser
+from . import ast as P
+
+#: Keywords that may not be used as variable/assignment targets.
+_STATEMENT_KEYWORDS = {
+    "if", "elsif", "elseif", "else", "end", "loop", "while", "for", "foreach",
+    "exit", "continue", "return", "raise", "perform", "declare", "begin",
+    "null", "case", "when", "then", "into",
+}
+
+
+class PlsqlParser:
+    """Statement-level parser; expression parsing delegates to SqlParser."""
+
+    def __init__(self, stream: TokenStream):
+        self.ts = stream
+        self.sql = SqlParser(stream)
+
+    # ------------------------------------------------------------------
+
+    def parse_body(self) -> tuple[list[P.Declaration], list[P.Stmt]]:
+        declarations: list[P.Declaration] = []
+        if self.ts.accept_keyword("declare"):
+            declarations = self._parse_declarations()
+        self.ts.expect_keyword("begin")
+        body = self._parse_statements(until=("end",))
+        self.ts.expect_keyword("end")
+        self.ts.accept_op(";")
+        if not self.ts.at_end():
+            token = self.ts.peek()
+            raise ParseError(f"trailing input after function body: {token}",
+                             token.line, token.column)
+        return declarations, body
+
+    def _parse_declarations(self) -> list[P.Declaration]:
+        declarations = []
+        while not self.ts.at_keyword("begin"):
+            name = self.ts.expect_ident("variable name")
+            type_name = self.sql._parse_type_name()
+            default = None
+            if self.ts.accept_op(":=") or self.ts.accept_op("="):
+                default = self.sql.parse_expression()
+            elif self.ts.accept_keyword("default"):
+                default = self.sql.parse_expression()
+            self.ts.expect_op(";")
+            declarations.append(P.Declaration(name.lower(), type_name, default))
+        return declarations
+
+    # ------------------------------------------------------------------
+
+    def _parse_statements(self, until: tuple[str, ...]) -> list[P.Stmt]:
+        statements: list[P.Stmt] = []
+        while not self.ts.at_keyword(*until):
+            if self.ts.at_end():
+                token = self.ts.peek()
+                raise ParseError(f"unexpected end of input, expected one of "
+                                 f"{[u.upper() for u in until]}",
+                                 token.line, token.column)
+            statements.append(self._parse_statement())
+        return statements
+
+    def _parse_statement(self) -> P.Stmt:
+        ts = self.ts
+        label = self._parse_label()
+        if ts.at_keyword("if"):
+            return self._parse_if()
+        if ts.at_keyword("case"):
+            return self._parse_case_statement()
+        if ts.at_keyword("loop"):
+            return self._parse_loop(label)
+        if ts.at_keyword("while"):
+            return self._parse_while(label)
+        if ts.at_keyword("for"):
+            return self._parse_for(label)
+        if ts.at_keyword("foreach"):
+            return self._parse_foreach(label)
+        if label is not None:
+            if ts.at_keyword("declare", "begin"):
+                return self._parse_block(label)
+            token = ts.peek()
+            raise ParseError("a label must precede LOOP/WHILE/FOR/block",
+                             token.line, token.column)
+        if ts.at_keyword("declare", "begin"):
+            return self._parse_block(None)
+        if ts.accept_keyword("exit"):
+            return self._parse_exit_continue(P.ExitStmt)
+        if ts.accept_keyword("continue"):
+            return self._parse_exit_continue(P.ContinueStmt)
+        if ts.accept_keyword("return"):
+            expr = None
+            if not ts.at_op(";"):
+                expr = self.sql.parse_expression()
+            ts.expect_op(";")
+            return P.ReturnStmt(expr)
+        if ts.accept_keyword("perform"):
+            return self._parse_perform()
+        if ts.accept_keyword("raise"):
+            return self._parse_raise()
+        if ts.accept_keyword("null"):
+            ts.expect_op(";")
+            return P.NullStmt()
+        # Assignment: target := expr;  or  target = expr;
+        token = ts.peek()
+        if token.type == IDENT and token.value not in _STATEMENT_KEYWORDS:
+            target = ts.expect_ident("assignment target")
+            if not (ts.accept_op(":=") or ts.accept_op("=")):
+                bad = ts.peek()
+                raise ParseError(f"expected ':=' after {target!r}",
+                                 bad.line, bad.column)
+            expr = self.sql.parse_expression()
+            ts.expect_op(";")
+            return P.Assign(target.lower(), expr)
+        raise ParseError(f"unexpected token in PL/pgSQL body: {token}",
+                         token.line, token.column)
+
+    def _parse_label(self) -> Optional[str]:
+        ts = self.ts
+        if ts.at_op("<") and ts.peek(1).type == OP and ts.peek(1).value == "<":
+            ts.advance()
+            ts.advance()
+            label = ts.expect_ident("label")
+            ts.expect_op(">")
+            ts.expect_op(">")
+            return label.lower()
+        return None
+
+    # -- control flow ----------------------------------------------------
+
+    def _parse_if(self) -> P.IfStmt:
+        ts = self.ts
+        ts.expect_keyword("if")
+        branches = []
+        condition = self.sql.parse_expression()
+        ts.expect_keyword("then")
+        branches.append((condition,
+                         self._parse_statements(("elsif", "elseif", "else", "end"))))
+        while ts.at_keyword("elsif", "elseif"):
+            ts.advance()
+            condition = self.sql.parse_expression()
+            ts.expect_keyword("then")
+            branches.append((condition,
+                             self._parse_statements(("elsif", "elseif",
+                                                     "else", "end"))))
+        else_body: list[P.Stmt] = []
+        if ts.accept_keyword("else"):
+            else_body = self._parse_statements(("end",))
+        ts.expect_keyword("end")
+        ts.expect_keyword("if")
+        ts.expect_op(";")
+        return P.IfStmt(branches, else_body)
+
+    def _parse_case_statement(self) -> P.IfStmt:
+        """CASE statements desugar to IF chains."""
+        ts = self.ts
+        ts.expect_keyword("case")
+        operand = None
+        if not ts.at_keyword("when"):
+            operand = self.sql.parse_expression()
+        branches = []
+        while ts.accept_keyword("when"):
+            test = self.sql.parse_expression()
+            if operand is not None:
+                test = SA.BinaryOp("=", operand, test)
+            ts.expect_keyword("then")
+            branches.append((test, self._parse_statements(("when", "else", "end"))))
+        else_body: list[P.Stmt] = []
+        if ts.accept_keyword("else"):
+            else_body = self._parse_statements(("end",))
+        ts.expect_keyword("end")
+        ts.expect_keyword("case")
+        ts.expect_op(";")
+        return P.IfStmt(branches, else_body)
+
+    def _parse_loop(self, label: Optional[str]) -> P.LoopStmt:
+        self.ts.expect_keyword("loop")
+        body = self._parse_statements(("end",))
+        self._finish_loop(label)
+        return P.LoopStmt(body, label)
+
+    def _parse_while(self, label: Optional[str]) -> P.WhileStmt:
+        self.ts.expect_keyword("while")
+        condition = self.sql.parse_expression()
+        self.ts.expect_keyword("loop")
+        body = self._parse_statements(("end",))
+        self._finish_loop(label)
+        return P.WhileStmt(condition, body, label)
+
+    def _parse_for(self, label: Optional[str]) -> P.Stmt:
+        ts = self.ts
+        ts.expect_keyword("for")
+        var = ts.expect_ident("loop variable").lower()
+        ts.expect_keyword("in")
+        if ts.at_keyword("select", "with", "values"):
+            query = self.sql.parse_select()
+            ts.expect_keyword("loop")
+            body = self._parse_statements(("end",))
+            self._finish_loop(label)
+            return P.ForQueryStmt(var, query, body, label)
+        reverse = bool(ts.accept_keyword("reverse"))
+        start = self.sql.parse_expression()
+        ts.expect_op("..")
+        stop = self.sql.parse_expression()
+        step = None
+        if ts.accept_keyword("by"):
+            step = self.sql.parse_expression()
+        ts.expect_keyword("loop")
+        body = self._parse_statements(("end",))
+        self._finish_loop(label)
+        return P.ForRangeStmt(var, start, stop, body, step, reverse, label)
+
+    def _parse_foreach(self, label: Optional[str]) -> P.ForEachStmt:
+        ts = self.ts
+        ts.expect_keyword("foreach")
+        var = ts.expect_ident("loop variable").lower()
+        ts.expect_keyword("in")
+        ts.expect_keyword("array")
+        array = self.sql.parse_expression()
+        ts.expect_keyword("loop")
+        body = self._parse_statements(("end",))
+        self._finish_loop(label)
+        return P.ForEachStmt(var, array, body, label)
+
+    def _finish_loop(self, label: Optional[str]) -> None:
+        ts = self.ts
+        ts.expect_keyword("end")
+        ts.expect_keyword("loop")
+        if ts.peek().type == IDENT and not ts.at_op(";"):
+            closing = ts.expect_ident("loop label")
+            if label is not None and closing.lower() != label:
+                token = ts.peek()
+                raise ParseError(
+                    f"END LOOP label {closing!r} does not match {label!r}",
+                    token.line, token.column)
+        ts.expect_op(";")
+
+    def _parse_block(self, label: Optional[str]) -> P.BlockStmt:
+        ts = self.ts
+        declarations: list[P.Declaration] = []
+        if ts.accept_keyword("declare"):
+            declarations = self._parse_declarations()
+        ts.expect_keyword("begin")
+        body = self._parse_statements(("end",))
+        ts.expect_keyword("end")
+        if ts.peek().type == IDENT and not ts.at_op(";"):
+            ts.expect_ident("block label")
+        ts.expect_op(";")
+        return P.BlockStmt(declarations, body, label)
+
+    def _parse_exit_continue(self, cls):
+        ts = self.ts
+        label = None
+        if ts.peek().type == IDENT and not ts.at_keyword("when") \
+                and not ts.at_op(";"):
+            label = ts.expect_ident("loop label").lower()
+        when = None
+        if ts.accept_keyword("when"):
+            when = self.sql.parse_expression()
+        ts.expect_op(";")
+        return cls(label, when)
+
+    def _parse_perform(self) -> P.PerformStmt:
+        """PERFORM <select-list> [FROM ...]: re-use the SELECT grammar by
+        parsing the tail as if prefixed by SELECT."""
+        core = self.sql._parse_select_core_after_keyword()
+        self.ts.expect_op(";")
+        return P.PerformStmt(SA.SelectStmt(None, core))
+
+    def _parse_raise(self) -> P.RaiseStmt:
+        ts = self.ts
+        level = "exception"
+        if ts.at_keyword("notice", "warning", "info", "exception", "debug", "log"):
+            level = str(ts.advance().value)
+        token = ts.peek()
+        message = ""
+        if token.type == STRING:
+            ts.advance()
+            message = str(token.value)
+        args: list[SA.Expr] = []
+        while ts.accept_op(","):
+            args.append(self.sql.parse_expression())
+        ts.expect_op(";")
+        return P.RaiseStmt(level, message, args)
+
+
+def parse_plpgsql_body(body: str) -> tuple[list[P.Declaration], list[P.Stmt]]:
+    return PlsqlParser(TokenStream.from_text(body)).parse_body()
+
+
+def parse_plpgsql_function(name: str, param_names: list[str],
+                           param_types: list[str], return_type: str,
+                           body: str) -> P.PlsqlFunctionDef:
+    """Parse a CREATE FUNCTION body into a :class:`PlsqlFunctionDef`."""
+    declarations, statements = parse_plpgsql_body(body)
+    lowered = [p.lower() for p in param_names]
+    declared = {d.name for d in declarations}
+    clash = declared.intersection(lowered)
+    if clash:
+        raise ParseError(f"declaration shadows parameter(s): {sorted(clash)}")
+    return P.PlsqlFunctionDef(name.lower(), lowered, list(param_types),
+                              return_type, declarations, statements)

@@ -1,0 +1,22 @@
+"""``repro.sql`` — the relational engine substrate.
+
+A from-scratch, in-memory SQL engine with the architecture the paper's cost
+analysis presumes: cached immutable plans, per-execution instantiation
+(ExecutorStart) and teardown (ExecutorEnd), lateral nested-loop joins,
+window functions, and ``WITH [RECURSIVE | ITERATE]`` evaluation with
+buffer-page accounting.
+"""
+
+from .engine import Database, Result
+from .errors import (CatalogError, CompileError, ExecutionError,
+                     LoopNotSupportedError, NameResolutionError, ParseError,
+                     PlanError, PlsqlError, PlsqlRuntimeError, SqlError,
+                     TypeError_)
+from .values import Row, Value
+
+__all__ = [
+    "Database", "Result", "Row", "Value",
+    "SqlError", "ParseError", "NameResolutionError", "PlanError",
+    "ExecutionError", "TypeError_", "CatalogError", "PlsqlError",
+    "PlsqlRuntimeError", "CompileError", "LoopNotSupportedError",
+]

@@ -1,0 +1,431 @@
+"""AST node definitions for the SQL dialect understood by the engine.
+
+The same nodes are produced by :mod:`repro.sql.parser` when parsing text and
+constructed programmatically by the PL/SQL compiler when it emits queries.
+:mod:`repro.sql.sqlgen` renders them back to SQL text in several dialects.
+
+All nodes are small frozen-ish dataclasses (not frozen, so the planner may
+annotate them, but they should be treated as immutable by convention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from .values import Value
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for all scalar expressions."""
+
+    __slots__ = ()
+
+
+@dataclass
+class Literal(Expr):
+    """A constant: number, string, boolean, or NULL."""
+
+    value: Value
+
+
+@dataclass
+class ColumnRef(Expr):
+    """A possibly-qualified name: ``x``, ``t.x`` or ``t.x.f`` (field access).
+
+    Resolution (splitting table qualifier from composite field access)
+    happens in the expression compiler, which knows the visible scopes.
+    """
+
+    parts: tuple[str, ...]
+
+    @property
+    def display(self) -> str:
+        return ".".join(self.parts)
+
+
+@dataclass
+class Param(Expr):
+    """Positional parameter ``$n`` (1-based)."""
+
+    index: int
+
+
+@dataclass
+class BinaryOp(Expr):
+    """Binary operator; ``op`` is one of
+    ``+ - * / % || = <> < <= > >= and or``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class UnaryOp(Expr):
+    """Unary operator; ``op`` is ``-``, ``+`` or ``not``."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass
+class IsNull(Expr):
+    operand: Expr
+    negated: bool = False
+
+
+@dataclass
+class IsBool(Expr):
+    """``expr IS [NOT] TRUE/FALSE`` — never NULL."""
+
+    operand: Expr
+    value: bool
+    negated: bool = False
+
+
+@dataclass
+class Between(Expr):
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+
+@dataclass
+class InList(Expr):
+    operand: Expr
+    items: list[Expr]
+    negated: bool = False
+
+
+@dataclass
+class InSubquery(Expr):
+    operand: Expr
+    subquery: "SelectStmt"
+    negated: bool = False
+
+
+@dataclass
+class Exists(Expr):
+    subquery: "SelectStmt"
+
+
+@dataclass
+class Like(Expr):
+    operand: Expr
+    pattern: Expr
+    negated: bool = False
+    case_insensitive: bool = False
+
+
+@dataclass
+class CaseExpr(Expr):
+    """Searched CASE when ``operand`` is None, simple CASE otherwise."""
+
+    operand: Optional[Expr]
+    whens: list[tuple[Expr, Expr]]
+    else_result: Optional[Expr]
+
+
+@dataclass
+class Cast(Expr):
+    operand: Expr
+    type_name: str
+
+
+@dataclass
+class FuncCall(Expr):
+    """Function call; covers scalar builtins, aggregates, and registered
+    user functions.  ``star`` marks ``count(*)``; ``window`` attaches an
+    OVER clause (either an inline :class:`WindowSpec` or the name of a
+    window declared in the WINDOW clause)."""
+
+    name: str
+    args: list[Expr]
+    star: bool = False
+    distinct: bool = False
+    window: Union["WindowSpec", str, None] = None
+
+
+@dataclass
+class RowExpr(Expr):
+    """``ROW(a, b, ...)`` constructor."""
+
+    items: list[Expr]
+    type_name: Optional[str] = None
+
+
+@dataclass
+class ArrayExpr(Expr):
+    """``ARRAY[a, b, ...]`` constructor."""
+
+    items: list[Expr]
+
+
+@dataclass
+class ArrayIndex(Expr):
+    """``arr[i]`` subscripting (1-based, SQL style)."""
+
+    operand: Expr
+    index: Expr
+
+
+@dataclass
+class FieldAccess(Expr):
+    """``(expr).field`` — field selection from a composite value."""
+
+    operand: Expr
+    fieldname: str
+
+
+@dataclass
+class ScalarSubquery(Expr):
+    """A parenthesised SELECT used as a scalar value."""
+
+    query: "SelectStmt"
+
+
+# ---------------------------------------------------------------------------
+# Window specifications
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SortItem:
+    expr: Expr
+    descending: bool = False
+    nulls_first: Optional[bool] = None  # None = dialect default
+
+
+@dataclass
+class FrameBound:
+    """One edge of a window frame.
+
+    ``kind`` is one of ``unbounded_preceding``, ``preceding``, ``current``,
+    ``following``, ``unbounded_following``; ``offset`` is the expression for
+    ``<n> PRECEDING/FOLLOWING`` bounds.
+    """
+
+    kind: str
+    offset: Optional[Expr] = None
+
+
+@dataclass
+class FrameSpec:
+    mode: str = "range"  # 'rows' | 'range' | 'groups'
+    start: FrameBound = field(default_factory=lambda: FrameBound("unbounded_preceding"))
+    end: FrameBound = field(default_factory=lambda: FrameBound("current"))
+    exclusion: Optional[str] = None  # 'current row' | 'ties' | 'group'
+
+
+@dataclass
+class WindowSpec:
+    """An OVER (...) specification; ``ref_name`` names a base window that
+    this spec refines (``(leq ROWS ...)`` in the paper's Q2)."""
+
+    ref_name: Optional[str] = None
+    partition_by: list[Expr] = field(default_factory=list)
+    order_by: list[SortItem] = field(default_factory=list)
+    frame: Optional[FrameSpec] = None
+
+
+# ---------------------------------------------------------------------------
+# Table references
+# ---------------------------------------------------------------------------
+
+
+class TableRef:
+    """Base class for everything that may appear in FROM."""
+
+    __slots__ = ()
+
+
+@dataclass
+class TableName(TableRef):
+    name: str
+    alias: Optional[str] = None
+    column_aliases: Optional[list[str]] = None
+
+
+@dataclass
+class SubqueryRef(TableRef):
+    query: "SelectStmt"
+    alias: str
+    column_aliases: Optional[list[str]] = None
+    lateral: bool = False
+
+
+@dataclass
+class Join(TableRef):
+    """``kind`` is ``inner``, ``left`` or ``cross``.  A comma in FROM parses
+    as a cross join.  LATERAL is a property of the right-hand side ref."""
+
+    kind: str
+    left: TableRef
+    right: TableRef
+    condition: Optional[Expr] = None
+
+
+# ---------------------------------------------------------------------------
+# SELECT statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SelectItem:
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclass
+class Star:
+    """``*`` or ``t.*`` in a select list."""
+
+    table: Optional[str] = None
+
+
+@dataclass
+class SelectCore:
+    """One SELECT ... FROM ... WHERE ... block (no ORDER BY/LIMIT)."""
+
+    items: list[Union[SelectItem, Star]]
+    from_clause: Optional[TableRef] = None
+    where: Optional[Expr] = None
+    group_by: list[Expr] = field(default_factory=list)
+    having: Optional[Expr] = None
+    distinct: bool = False
+    windows: dict[str, WindowSpec] = field(default_factory=dict)
+
+
+@dataclass
+class ValuesClause:
+    """``VALUES (...), (...)`` usable as a select body."""
+
+    rows: list[list[Expr]]
+
+
+@dataclass
+class SetOp:
+    """UNION [ALL] / INTERSECT / EXCEPT of two select bodies."""
+
+    op: str  # 'union' | 'union_all' | 'intersect' | 'except'
+    left: Union[SelectCore, "SetOp", ValuesClause]
+    right: Union[SelectCore, "SetOp", ValuesClause]
+
+
+@dataclass
+class CommonTableExpr:
+    name: str
+    column_names: Optional[list[str]]
+    query: "SelectStmt"
+
+
+@dataclass
+class WithClause:
+    """``WITH [RECURSIVE | ITERATE] name (...) AS (...) , ...``.
+
+    ``iterate`` marks the paper's proposed WITH ITERATE variant: the working
+    table retains only the rows of the most recent step and the CTE's final
+    content is that last step (plus, for convenience, rows marked final by
+    the recursive term's own filter — see executor/recursion.py).
+    """
+
+    recursive: bool
+    ctes: list[CommonTableExpr]
+    iterate: bool = False
+
+
+@dataclass
+class SelectStmt:
+    with_clause: Optional[WithClause]
+    body: Union[SelectCore, SetOp, ValuesClause]
+    order_by: list[SortItem] = field(default_factory=list)
+    limit: Optional[Expr] = None
+    offset: Optional[Expr] = None
+
+
+# ---------------------------------------------------------------------------
+# DDL / DML
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ColumnDef:
+    name: str
+    type_name: str
+
+
+@dataclass
+class CreateTable:
+    name: str
+    columns: list[ColumnDef]
+    if_not_exists: bool = False
+
+
+@dataclass
+class CreateType:
+    name: str
+    fields: list[ColumnDef]
+
+
+@dataclass
+class FunctionParam:
+    name: str
+    type_name: str
+
+
+@dataclass
+class CreateFunction:
+    """``CREATE [OR REPLACE] FUNCTION ... LANGUAGE {SQL | PLPGSQL}``.
+
+    The body is kept as raw text; PL/pgSQL bodies are parsed lazily by the
+    PL/pgSQL front end, SQL bodies by the SQL parser.
+    """
+
+    name: str
+    params: list[FunctionParam]
+    return_type: str
+    language: str
+    body: str
+    replace: bool = False
+
+
+@dataclass
+class Insert:
+    table: str
+    columns: Optional[list[str]]
+    source: SelectStmt
+
+
+@dataclass
+class Update:
+    table: str
+    assignments: list[tuple[str, Expr]]
+    where: Optional[Expr] = None
+
+
+@dataclass
+class Delete:
+    table: str
+    where: Optional[Expr] = None
+
+
+@dataclass
+class DropTable:
+    name: str
+    if_exists: bool = False
+
+
+@dataclass
+class DropFunction:
+    name: str
+    if_exists: bool = False
+
+
+Statement = Union[SelectStmt, CreateTable, CreateType, CreateFunction,
+                  Insert, Update, Delete, DropTable, DropFunction]

@@ -1,0 +1,124 @@
+"""The schema catalog: tables, composite types, and the function registry.
+
+Functions come in four flavours, mirroring the paper's cast of characters:
+
+* **builtin** — engine-provided scalars (``sign``, ``substr``, ``random``, ...),
+* **sql** — ``LANGUAGE SQL`` user-defined functions (the paper's UDF stage);
+  their body is a single SELECT evaluated per call, *with* plan
+  instantiation cost — which is exactly why the paper does not stop there,
+* **plpgsql** — interpreted PL/pgSQL functions (the baseline; every call is a
+  ``Q→f`` context switch),
+* **compiled** — the product of the paper's pipeline: a parameterised pure-SQL
+  query that the planner inlines at the call site so the whole thing is
+  planned once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Optional
+
+from . import ast as A
+from .errors import CatalogError, NameResolutionError
+from .storage import BufferManager, HeapTable
+from .types import CompositeType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    pass
+
+
+@dataclass
+class FunctionDef:
+    """A registered function.
+
+    Exactly one of the payload fields is populated, according to ``kind``:
+    ``builtin`` uses ``impl``; ``sql`` and ``plpgsql`` use ``body`` (source
+    text, parsed lazily and cached by the respective front end); ``compiled``
+    uses ``query`` — a SELECT AST with :class:`repro.sql.ast.Param` holes,
+    one per parameter, that the planner inlines as a correlated subplan.
+    """
+
+    name: str
+    kind: str  # 'builtin' | 'sql' | 'plpgsql' | 'compiled'
+    param_names: list[str] = field(default_factory=list)
+    param_types: list[str] = field(default_factory=list)
+    return_type: str = "int"
+    impl: Optional[Callable] = None
+    body: Optional[str] = None
+    query: Optional[A.SelectStmt] = None
+    # Caches populated by front ends on first use:
+    parsed_body: object = None
+
+    @property
+    def arity(self) -> int:
+        return len(self.param_names)
+
+
+class Catalog:
+    """All schema objects of one :class:`~repro.sql.engine.Database`."""
+
+    def __init__(self, buffers: BufferManager):
+        self._buffers = buffers
+        self.tables: dict[str, HeapTable] = {}
+        self.composite_types: dict[str, CompositeType] = {}
+        self.functions: dict[str, FunctionDef] = {}
+
+    # -- tables ----------------------------------------------------------
+    def create_table(self, name: str, column_names, column_types,
+                     if_not_exists: bool = False) -> HeapTable:
+        key = name.lower()
+        if key in self.tables:
+            if if_not_exists:
+                return self.tables[key]
+            raise CatalogError(f"table {name!r} already exists")
+        table = HeapTable(key, column_names, column_types, self._buffers)
+        self.tables[key] = table
+        return table
+
+    def get_table(self, name: str) -> HeapTable:
+        table = self.tables.get(name.lower())
+        if table is None:
+            raise NameResolutionError(f"unknown table {name!r}")
+        return table
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self.tables
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        key = name.lower()
+        if key not in self.tables:
+            if if_exists:
+                return
+            raise CatalogError(f"unknown table {name!r}")
+        del self.tables[key]
+
+    # -- composite types ---------------------------------------------------
+    def create_type(self, name: str, field_names, field_types) -> CompositeType:
+        key = name.lower()
+        if key in self.composite_types:
+            raise CatalogError(f"type {name!r} already exists")
+        ctype = CompositeType(key, tuple(f.lower() for f in field_names),
+                              tuple(field_types))
+        self.composite_types[key] = ctype
+        return ctype
+
+    def get_type(self, name: str) -> CompositeType | None:
+        return self.composite_types.get(name.lower())
+
+    # -- functions ---------------------------------------------------------
+    def register_function(self, fdef: FunctionDef, replace: bool = False) -> None:
+        key = fdef.name.lower()
+        if key in self.functions and not replace:
+            raise CatalogError(f"function {fdef.name!r} already exists")
+        self.functions[key] = fdef
+
+    def get_function(self, name: str) -> FunctionDef | None:
+        return self.functions.get(name.lower())
+
+    def drop_function(self, name: str, if_exists: bool = False) -> None:
+        key = name.lower()
+        if key not in self.functions:
+            if if_exists:
+                return
+            raise CatalogError(f"unknown function {name!r}")
+        del self.functions[key]

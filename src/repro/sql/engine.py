@@ -1,0 +1,417 @@
+"""The :class:`Database` facade: SQL entry point, plan cache, profiling.
+
+Execution life cycle (mirroring PostgreSQL, which is what makes the paper's
+cost accounting reproducible here):
+
+1. **Parse** — text to AST (only on plan-cache miss),
+2. **Plan** — AST to immutable plan tree (cached by SQL text),
+3. **ExecutorStart** — instantiate the plan into per-execution state,
+4. **ExecutorRun** — pull all tuples,
+5. **ExecutorEnd** — tear the state down.
+
+Every embedded-query evaluation performed by the PL/pgSQL interpreter runs
+through this same path, so steps 3 and 5 recur per evaluation — that is the
+``f→Qi`` overhead of Section 1.  A compiled function is inlined into its
+calling query by the planner and thus passes through steps 1–3 exactly once.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from . import ast as A
+from .catalog import Catalog, FunctionDef
+from .errors import (CatalogError, ExecutionError, PlanError, PlsqlError,
+                     SqlError, TypeError_)
+from .expr import EvalContext, ExprCompiler, Relation, RuntimeContext, Scope
+from .parser import parse_script, parse_statement
+from .planner import Planner
+from .profiler import (EXEC_END, EXEC_RUN, EXEC_START, PARSE, PLAN,
+                       PLAN_CACHE_HIT, PLAN_CACHE_MISS, PLAN_INSTANTIATIONS,
+                       SWITCH_Q_TO_F, Profiler)
+from .storage import BufferManager
+from .types import cast_value
+from .values import Value
+
+
+class Result:
+    """A query result: column names plus a list of row tuples."""
+
+    __slots__ = ("columns", "rows")
+
+    def __init__(self, columns: list[str], rows: list[tuple]):
+        self.columns = columns
+        self.rows = rows
+
+    def scalar(self) -> Value:
+        """The single value of a single-row, single-column result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise ExecutionError(
+                f"expected a 1x1 result, got {len(self.rows)} rows x "
+                f"{len(self.columns)} columns")
+        return self.rows[0][0]
+
+    def first(self) -> Optional[tuple]:
+        return self.rows[0] if self.rows else None
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        return f"Result({self.columns}, {len(self.rows)} rows)"
+
+
+class Database:
+    """An in-memory relational database with PL/pgSQL support.
+
+    >>> db = Database()
+    >>> db.execute("CREATE TABLE t(x int)")
+    >>> db.execute("INSERT INTO t VALUES (1), (2)")
+    >>> db.execute("SELECT sum(x) FROM t").scalar()
+    3
+    """
+
+    def __init__(self, seed: int = 0, profile: bool = True):
+        import sys
+        if sys.getrecursionlimit() < 20000:
+            # Directly recursive SQL UDFs nest many Python frames per call;
+            # let our own max_udf_depth guard fire before CPython's.
+            sys.setrecursionlimit(20000)
+        self.buffers = BufferManager()
+        self.catalog = Catalog(self.buffers)
+        self.rng = random.Random(seed)
+        self.profiler = Profiler(enabled=profile)
+        self.planner = Planner(self)
+        self._plan_cache: dict[str, object] = {}
+        self.max_recursion_iterations = 10_000_000
+        #: Matches PostgreSQL's max_stack_depth behaviour: directly recursive
+        #: SQL UDFs (the paper's intermediate UDF form) blow this quickly.
+        self.max_udf_depth = 192
+        self._udf_depth = 0
+        self.plan_cache_enabled = True
+        #: RAISE NOTICE/WARNING/INFO messages from PL/pgSQL execution.
+        self.notices: list[str] = []
+        #: When set to a dict, the PL/pgSQL interpreter accumulates per-
+        #: statement phase timings into it (Figure 3's profile bars):
+        #: label -> {phase -> seconds}.
+        self.plsql_statement_profile: Optional[dict] = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def execute(self, sql: str, params: Sequence[Value] = ()) -> Result:
+        """Execute one SQL statement (text) and return its result."""
+        if _looks_like_select(sql):
+            plan = self._get_plan(sql)
+            return self._run_plan(plan, params)
+        with self.profiler.phase(PARSE):
+            stmt = parse_statement(sql)
+        return self.execute_ast(stmt, params)
+
+    def execute_ast(self, stmt: A.Statement, params: Sequence[Value] = ()) -> Result:
+        """Execute a pre-parsed statement AST."""
+        if isinstance(stmt, A.SelectStmt):
+            with self.profiler.phase(PLAN):
+                plan = self.planner.plan_select(stmt)
+            return self._run_plan(plan, params)
+        if isinstance(stmt, A.CreateTable):
+            return self._do_create_table(stmt)
+        if isinstance(stmt, A.CreateType):
+            return self._do_create_type(stmt)
+        if isinstance(stmt, A.CreateFunction):
+            return self._do_create_function(stmt)
+        if isinstance(stmt, A.Insert):
+            return self._do_insert(stmt, params)
+        if isinstance(stmt, A.Update):
+            return self._do_update(stmt, params)
+        if isinstance(stmt, A.Delete):
+            return self._do_delete(stmt, params)
+        if isinstance(stmt, A.DropTable):
+            self.catalog.drop_table(stmt.name, stmt.if_exists)
+            self.clear_plan_cache()
+            return Result([], [])
+        if isinstance(stmt, A.DropFunction):
+            self.catalog.drop_function(stmt.name, stmt.if_exists)
+            self.clear_plan_cache()
+            return Result([], [])
+        raise SqlError(f"unsupported statement {type(stmt).__name__}")
+
+    def execute_script(self, sql: str) -> list[Result]:
+        """Execute a ``;``-separated script; return one Result per statement."""
+        with self.profiler.phase(PARSE):
+            statements = parse_script(sql)
+        return [self.execute_ast(stmt) for stmt in statements]
+
+    def query_value(self, sql: str, params: Sequence[Value] = ()) -> Value:
+        return self.execute(sql, params).scalar()
+
+    def query_all(self, sql: str, params: Sequence[Value] = ()) -> list[tuple]:
+        return self.execute(sql, params).rows
+
+    def explain(self, sql: str) -> str:
+        """Render the plan tree for a SELECT (EXPLAIN-style)."""
+        plan = self._get_plan(sql)
+        return plan.explain()
+
+    def reseed(self, seed: int) -> None:
+        """Reset the engine RNG (``random()``) for reproducible runs."""
+        self.rng = random.Random(seed)
+
+    def clear_plan_cache(self) -> None:
+        self._plan_cache.clear()
+        for fdef in self.catalog.functions.values():
+            fdef.parsed_body = None
+
+    # ------------------------------------------------------------------
+    # Planning and running SELECTs
+    # ------------------------------------------------------------------
+
+    def _get_plan(self, sql: str):
+        profiler = self.profiler
+        if self.plan_cache_enabled:
+            plan = self._plan_cache.get(sql)
+            if plan is not None:
+                profiler.bump(PLAN_CACHE_HIT)
+                return plan
+        profiler.bump(PLAN_CACHE_MISS)
+        with profiler.phase(PARSE):
+            stmt = parse_statement(sql)
+        if not isinstance(stmt, A.SelectStmt):
+            raise PlanError("plan cache only holds SELECT statements")
+        with profiler.phase(PLAN):
+            plan = self.planner.plan_select(stmt)
+        if self.plan_cache_enabled:
+            self._plan_cache[sql] = plan
+        return plan
+
+    def _run_plan(self, plan, params: Sequence[Value]) -> Result:
+        profiler = self.profiler
+        rt = RuntimeContext(self, params)
+        profiler.bump(PLAN_INSTANTIATIONS)
+        # ExecutorStart: copy the cached plan into runtime state.
+        profiler.push(EXEC_START)
+        try:
+            state = plan.instantiate(rt)
+            state.open(None)
+        finally:
+            profiler.pop()
+        profiler.push(EXEC_RUN)
+        try:
+            rows = state.fetch_all()
+        finally:
+            profiler.pop()
+        # ExecutorEnd: tear down per-execution state.
+        profiler.push(EXEC_END)
+        try:
+            state.close()
+            del state
+        finally:
+            profiler.pop()
+        return Result(list(plan.output_columns), rows)
+
+    # ------------------------------------------------------------------
+    # Function invocation (the Q->f context switch)
+    # ------------------------------------------------------------------
+
+    def call_function(self, fdef: FunctionDef, args: list[Value]) -> Value:
+        """Invoke a registered function from a SQL expression."""
+        if len(args) != fdef.arity:
+            raise ExecutionError(
+                f"function {fdef.name}() takes {fdef.arity} arguments, "
+                f"got {len(args)}")
+        self.profiler.bump(SWITCH_Q_TO_F)
+        if fdef.kind == "builtin":
+            rt = RuntimeContext(self, ())
+            return fdef.impl(rt, *args)  # type: ignore[misc]
+        if fdef.kind == "plpgsql":
+            from ..plsql.interpreter import call_plpgsql
+            return call_plpgsql(self, fdef, args)
+        if fdef.kind == "sql":
+            return self._call_sql_function(fdef, args)
+        if fdef.kind == "compiled":
+            # Not inlined (planner.inline_compiled off, or dynamic call):
+            # run the stored query with the arguments as parameters.
+            with self.profiler.phase(PLAN):
+                plan = self.planner.plan_select(fdef.query)
+            return self._run_plan(plan, args).scalar()
+        raise ExecutionError(f"unknown function kind {fdef.kind!r}")
+
+    def _call_sql_function(self, fdef: FunctionDef, args: list[Value]) -> Value:
+        """Run a LANGUAGE SQL function body (one SELECT, params by name).
+
+        This is the paper's intermediate **UDF** form.  Note the cost
+        profile: the body plan is cached, but instantiation and teardown
+        happen per call — and direct recursion hits the stack-depth limit,
+        which is exactly why the paper pushes on to WITH RECURSIVE.
+        """
+        if self._udf_depth >= self.max_udf_depth:
+            raise ExecutionError(
+                f"stack depth limit exceeded while evaluating {fdef.name}() "
+                f"(max_udf_depth={self.max_udf_depth}); consider compiling "
+                "the function away")
+        if fdef.parsed_body is None:
+            with self.profiler.phase(PARSE):
+                stmt = parse_statement(fdef.body)
+            if not isinstance(stmt, A.SelectStmt):
+                raise PlsqlError(
+                    f"SQL function {fdef.name} body must be a single SELECT")
+            from .astutil import transform_select
+            mapping = {name.lower(): index + 1
+                       for index, name in enumerate(fdef.param_names)}
+
+            def bind(expr: A.Expr) -> Optional[A.Expr]:
+                if isinstance(expr, A.ColumnRef) and len(expr.parts) == 1:
+                    index = mapping.get(expr.parts[0].lower())
+                    if index is not None:
+                        return A.Param(index)
+                return None
+
+            stmt = transform_select(stmt, bind)
+            with self.profiler.phase(PLAN):
+                plan = self.planner.plan_select(stmt)
+            fdef.parsed_body = plan
+        self._udf_depth += 1
+        try:
+            result = self._run_plan(fdef.parsed_body, args)
+        finally:
+            self._udf_depth -= 1
+        if len(result.columns) != 1 or len(result.rows) > 1:
+            raise ExecutionError(
+                f"SQL function {fdef.name} must return one scalar")
+        return result.rows[0][0] if result.rows else None
+
+    def register_compiled_function(self, name: str, param_names: list[str],
+                                   param_types: list[str], return_type: str,
+                                   query: A.SelectStmt) -> FunctionDef:
+        """Register the pure-SQL query produced by the compiler as *name*.
+
+        Subsequent queries calling ``name(...)`` get the query inlined at
+        plan time (replacing any previous PL/pgSQL definition).
+        """
+        fdef = FunctionDef(name=name.lower(), kind="compiled",
+                           param_names=list(param_names),
+                           param_types=list(param_types),
+                           return_type=return_type, query=query)
+        self.catalog.register_function(fdef, replace=True)
+        self.clear_plan_cache()
+        return fdef
+
+    # ------------------------------------------------------------------
+    # DDL / DML
+    # ------------------------------------------------------------------
+
+    def _do_create_table(self, stmt: A.CreateTable) -> Result:
+        self.catalog.create_table(stmt.name,
+                                  [c.name for c in stmt.columns],
+                                  [c.type_name for c in stmt.columns],
+                                  stmt.if_not_exists)
+        self.clear_plan_cache()
+        return Result([], [])
+
+    def _do_create_type(self, stmt: A.CreateType) -> Result:
+        self.catalog.create_type(stmt.name,
+                                 [f.name for f in stmt.fields],
+                                 [f.type_name for f in stmt.fields])
+        self.clear_plan_cache()
+        return Result([], [])
+
+    def _do_create_function(self, stmt: A.CreateFunction) -> Result:
+        language = stmt.language.lower()
+        if language not in ("sql", "plpgsql"):
+            raise CatalogError(f"unsupported function language {stmt.language!r}")
+        fdef = FunctionDef(
+            name=stmt.name.lower(), kind=language,
+            param_names=[p.name for p in stmt.params],
+            param_types=[p.type_name for p in stmt.params],
+            return_type=stmt.return_type, body=stmt.body)
+        self.catalog.register_function(fdef, replace=stmt.replace)
+        self.clear_plan_cache()
+        return Result([], [])
+
+    def _do_insert(self, stmt: A.Insert, params: Sequence[Value]) -> Result:
+        table = self.catalog.get_table(stmt.table)
+        with self.profiler.phase(PLAN):
+            plan = self.planner.plan_select(stmt.source)
+        source = self._run_plan(plan, params)
+        if stmt.columns is not None:
+            positions = [table.column_index(c) for c in stmt.columns]
+        else:
+            positions = list(range(len(table.column_names)))
+        inserted = 0
+        for row in source.rows:
+            if len(row) != len(positions):
+                raise ExecutionError(
+                    f"INSERT expects {len(positions)} values, got {len(row)}")
+            full: list[Value] = [None] * len(table.column_names)
+            for position, value in zip(positions, row):
+                full[position] = self._coerce(value, table.column_types[position])
+            table.insert(full)
+            inserted += 1
+        return Result(["count"], [(inserted,)])
+
+    def _coerce(self, value: Value, type_name: str) -> Value:
+        if value is None:
+            return None
+        composite = self.catalog.get_type(type_name)
+        try:
+            return cast_value(value, type_name, composite)
+        except TypeError_:
+            return value  # keep as-is; the engine is dynamically typed
+
+    def _table_predicate(self, table, where: Optional[A.Expr]):
+        """Compile *where* against the table's row scope; return row->bool."""
+        scope = Scope([Relation(table.name, table.column_names)])
+        compiler = ExprCompiler(scope, self.planner)
+        predicate = compiler.compile(where) if where is not None else None
+        subplans = compiler.subplans
+        rt = RuntimeContext(self, ())
+        from .executor.scan import make_slots
+        slots = make_slots(rt, None, subplans)
+
+        def check(row) -> bool:
+            if predicate is None:
+                return True
+            ctx = EvalContext(rt, (row,), slots=slots)
+            return predicate(ctx) is True
+
+        return check, rt, compiler
+
+    def _do_update(self, stmt: A.Update, params: Sequence[Value]) -> Result:
+        table = self.catalog.get_table(stmt.table)
+        check, rt, compiler = self._table_predicate(table, stmt.where)
+        rt.params = tuple(params)
+        assignments = [(table.column_index(name), compiler.compile(expr))
+                       for name, expr in stmt.assignments]
+        from .executor.scan import make_slots
+        slots = make_slots(rt, None, compiler.subplans)
+
+        def updater(row):
+            ctx = EvalContext(rt, (row,), slots=slots)
+            new_row = list(row)
+            for position, compiled in assignments:
+                new_row[position] = self._coerce(
+                    compiled(ctx), table.column_types[position])
+            return new_row
+
+        count = table.update_where(check, updater)
+        return Result(["count"], [(count,)])
+
+    def _do_delete(self, stmt: A.Delete, params: Sequence[Value]) -> Result:
+        table = self.catalog.get_table(stmt.table)
+        check, rt, _compiler = self._table_predicate(table, stmt.where)
+        rt.params = tuple(params)
+        count = table.delete_where(check)
+        return Result(["count"], [(count,)])
+
+
+def _looks_like_select(sql: str) -> bool:
+    stripped = sql.lstrip().lower()
+    for head in ("select", "with", "values", "("):
+        if stripped.startswith(head):
+            return True
+    return False

@@ -1,0 +1,64 @@
+"""Error hierarchy for the SQL engine and the PL/SQL compiler.
+
+Every error raised on purpose by this package derives from :class:`SqlError`
+so that callers can catch one base class.  The subclasses mirror the stages of
+query processing: lexing/parsing, name resolution and planning, execution, and
+PL/SQL compilation.
+"""
+
+from __future__ import annotations
+
+
+class SqlError(Exception):
+    """Base class for all errors raised by the repro engine."""
+
+
+class ParseError(SqlError):
+    """Raised by the lexer or a parser on malformed input.
+
+    Carries the offending line/column when known so error messages can point
+    at the source position.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        if line is not None:
+            message = f"{message} (at line {line}, column {column})"
+        super().__init__(message)
+        self.line = line
+        self.column = column
+
+
+class NameResolutionError(SqlError):
+    """An identifier (table, column, function, type) could not be resolved."""
+
+
+class PlanError(SqlError):
+    """The planner rejected a query (unsupported shape, arity mismatch, ...)."""
+
+
+class ExecutionError(SqlError):
+    """A runtime error during plan execution (e.g. bad scalar subquery)."""
+
+
+class TypeError_(SqlError):
+    """A value had the wrong type for an operation or CAST failed."""
+
+
+class CatalogError(SqlError):
+    """Schema-level problem: duplicate table, unknown type, and so on."""
+
+
+class PlsqlError(SqlError):
+    """Base class for PL/pgSQL front-end and interpreter errors."""
+
+
+class PlsqlRuntimeError(PlsqlError):
+    """Raised while interpreting a PL/pgSQL function body."""
+
+
+class CompileError(SqlError):
+    """The PL/SQL -> SQL compiler could not translate a function."""
+
+
+class LoopNotSupportedError(CompileError):
+    """Raised by the Froid baseline when the input function contains a loop."""

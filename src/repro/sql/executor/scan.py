@@ -1,0 +1,267 @@
+"""Leaf tuple sources: sequential scans, VALUES, one-row, row expansion."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import ExecutionError, NameResolutionError
+from ..values import Row
+from .base import Plan, PlanState
+
+
+class SeqScanPlan(Plan):
+    """Full scan of a base table.  The table is looked up at instantiation
+    (late binding, like PostgreSQL's relation open in ExecutorStart)."""
+
+    __slots__ = ("table_name",)
+
+    def __init__(self, table_name: str, output_columns: list[str]):
+        super().__init__(output_columns)
+        self.table_name = table_name
+
+    def label(self) -> str:
+        return f"SeqScan on {self.table_name}"
+
+    def instantiate(self, rt, ictx=None) -> "SeqScanState":
+        return SeqScanState(rt, self)
+
+
+class SeqScanState(PlanState):
+    __slots__ = ("table", "rows", "pos")
+
+    def __init__(self, rt, plan: SeqScanPlan):
+        super().__init__(rt)
+        self.table = rt.catalog.tables.get(plan.table_name)
+        if self.table is None:
+            raise NameResolutionError(f"unknown table {plan.table_name!r}")
+        self.rows = self.table.rows
+        self.pos = 0
+
+    def open(self, outer) -> None:
+        # Re-read the row list: DML may have replaced it since instantiation.
+        self.rows = self.table.rows
+        self.pos = 0
+
+    def next(self) -> Optional[tuple]:
+        if self.pos >= len(self.rows):
+            return None
+        row = self.rows[self.pos]
+        self.pos += 1
+        return row
+
+
+_NO_ROWS: list = []
+
+
+class IndexScanPlan(Plan):
+    """Equality lookup via a hash index (planner-chosen for correlated
+    ``col = expr`` predicates on base tables — PostgreSQL would use a
+    B-tree probe here).
+
+    ``key_columns`` are column positions; ``key_exprs`` are compiled
+    expressions guaranteed (by the planner's probe) not to reference the
+    scanned relation itself.  They are evaluated once per (re)open against
+    the outer context, so correlated lookups re-probe per outer row.
+    """
+
+    __slots__ = ("table_name", "key_columns", "key_exprs", "subplans")
+
+    def __init__(self, table_name: str, output_columns: list[str],
+                 key_columns: list[int], key_exprs, subplans):
+        super().__init__(output_columns)
+        self.table_name = table_name
+        self.key_columns = tuple(key_columns)
+        self.key_exprs = key_exprs
+        self.subplans = subplans
+
+    def label(self) -> str:
+        keys = ", ".join(self.output_columns[c] for c in self.key_columns)
+        return f"IndexScan on {self.table_name} ({keys})"
+
+    def instantiate(self, rt, ictx=None) -> "IndexScanState":
+        return IndexScanState(rt, self, ictx)
+
+
+class IndexScanState(PlanState):
+    __slots__ = ("plan", "table", "slots", "rows", "pos", "_ctx", "_ctx_outer")
+
+    def __init__(self, rt, plan: IndexScanPlan, ictx):
+        super().__init__(rt)
+        self.plan = plan
+        self.table = rt.catalog.tables.get(plan.table_name)
+        if self.table is None:
+            raise NameResolutionError(f"unknown table {plan.table_name!r}")
+        self.slots = make_slots(rt, ictx, plan.subplans)
+        self.rows: list = []
+        self.pos = 0
+        self._ctx = None
+        self._ctx_outer = self  # sentinel: never a valid outer
+
+    def open(self, outer) -> None:
+        # Key expressions were compiled at the enclosing SELECT's scope
+        # level; *outer* is that level's context (the FROM leaf passes its
+        # shared row vector).  Mirror it, attaching our subplan slots; the
+        # mirror is cached since the leaf reuses its vector context.
+        if outer is not self._ctx_outer:
+            from ..expr import EvalContext
+            if outer is not None:
+                self._ctx = EvalContext(self.rt, outer.rows,
+                                        parent=outer.parent, slots=self.slots)
+            else:
+                self._ctx = EvalContext(self.rt, (), slots=self.slots)
+            self._ctx_outer = outer
+        ctx = self._ctx
+        key = tuple(expr(ctx) for expr in self.plan.key_exprs)
+        self.pos = 0
+        if None in key:
+            self.rows = _NO_ROWS  # col = NULL matches nothing
+            return
+        index = self.table.equality_index(self.plan.key_columns)
+        self.rows = index.get(key, _NO_ROWS)
+
+    def next(self) -> Optional[tuple]:
+        if self.pos >= len(self.rows):
+            return None
+        row = self.rows[self.pos]
+        self.pos += 1
+        return row
+
+
+class ValuesPlan(Plan):
+    """``VALUES (...), (...)`` — each cell is a compiled expression."""
+
+    __slots__ = ("rows", "subplans")
+
+    def __init__(self, rows, output_columns: list[str], subplans):
+        super().__init__(output_columns)
+        self.rows = rows
+        self.subplans = subplans
+
+    def label(self) -> str:
+        return f"Values ({len(self.rows)} rows)"
+
+    def instantiate(self, rt, ictx=None) -> "ValuesState":
+        return ValuesState(rt, self, ictx)
+
+
+class ValuesState(PlanState):
+    __slots__ = ("plan", "slots", "pos", "outer")
+
+    def __init__(self, rt, plan: ValuesPlan, ictx):
+        super().__init__(rt)
+        self.plan = plan
+        self.slots = make_slots(rt, ictx, plan.subplans)
+        self.pos = 0
+        self.outer = None
+
+    def open(self, outer) -> None:
+        self.pos = 0
+        self.outer = outer
+
+    def next(self) -> Optional[tuple]:
+        from ..expr import EvalContext
+        if self.pos >= len(self.plan.rows):
+            return None
+        row = self.plan.rows[self.pos]
+        self.pos += 1
+        ctx = EvalContext(self.rt, (), parent=self.outer, slots=self.slots)
+        return tuple(cell(ctx) for cell in row)
+
+
+class OneRowPlan(Plan):
+    """Emits exactly one empty row — the input of a table-less SELECT."""
+
+    def __init__(self):
+        super().__init__([])
+
+    def label(self) -> str:
+        return "Result"
+
+    def instantiate(self, rt, ictx=None) -> "OneRowState":
+        return OneRowState(rt)
+
+
+class OneRowState(PlanState):
+    __slots__ = ("done",)
+
+    def __init__(self, rt):
+        super().__init__(rt)
+        self.done = False
+
+    def open(self, outer) -> None:
+        self.done = False
+
+    def next(self) -> Optional[tuple]:
+        if self.done:
+            return None
+        self.done = True
+        return ()
+
+
+class RowExpandPlan(Plan):
+    """Engine extension: expand a single composite column into N columns.
+
+    The paper's CTE template wraps the adapted UDF body in
+    ``LATERAL (body) AS iter("call?", args, result)`` where the body yields a
+    single ROW-valued CASE.  PostgreSQL spells this with a registered
+    composite type and ``(x).*``; our engine performs the expansion whenever a
+    FROM subquery with a multi-column alias list produces single-column rows
+    holding ROW values of the matching arity.
+    """
+
+    __slots__ = ("child",)
+
+    def __init__(self, child: Plan, output_columns: list[str]):
+        super().__init__(output_columns)
+        self.child = child
+
+    def label(self) -> str:
+        return f"RowExpand ({self.width} cols)"
+
+    def children(self) -> list[Plan]:
+        return [self.child]
+
+    def instantiate(self, rt, ictx=None) -> "RowExpandState":
+        return RowExpandState(rt, self, self.child.instantiate(rt, ictx))
+
+
+class RowExpandState(PlanState):
+    __slots__ = ("plan", "child")
+
+    def __init__(self, rt, plan: RowExpandPlan, child: PlanState):
+        super().__init__(rt)
+        self.plan = plan
+        self.child = child
+
+    def open(self, outer) -> None:
+        self.child.open(outer)
+
+    def next(self) -> Optional[tuple]:
+        row = self.child.next()
+        if row is None:
+            return None
+        if len(row) == self.plan.width:
+            return row
+        if len(row) == 1:
+            value = row[0]
+            if value is None:
+                return (None,) * self.plan.width
+            if isinstance(value, Row) and len(value) == self.plan.width:
+                return value.values
+        raise ExecutionError(
+            f"cannot expand row of width {len(row)} to "
+            f"{self.plan.width} columns {self.plan.output_columns}")
+
+    def close(self) -> None:
+        self.child.close()
+
+
+def make_slots(rt, ictx, subplans) -> list:
+    """Eagerly instantiate a node's expression subplans into its slot list.
+
+    This is the per-execution cost the paper attributes to ExecutorStart:
+    every scalar subquery / EXISTS / IN-subquery in the node's expressions
+    gets a fresh state tree here, once per plan instantiation — and exactly
+    once for a compiled query, no matter how many recursive steps follow.
+    """
+    return [plan.instantiate(rt, ictx) for plan in subplans]

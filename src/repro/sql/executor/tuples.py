@@ -1,0 +1,288 @@
+"""Tuple-stream operators between SELECT levels: sort, limit, set ops."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from ..errors import ExecutionError
+from ..values import row_sort_key
+from .base import Plan, PlanState
+from .select_core import _hashable_row
+
+
+class SortPlan(Plan):
+    """Sort the child's tuples by trailing hidden key columns.
+
+    The planner appends one hidden column per ORDER BY key to the child's
+    projection; ``key_start`` marks where they begin, ``strip`` says whether
+    to cut them from emitted rows (true unless keys are real output columns).
+    """
+
+    __slots__ = ("child", "key_start", "descending", "nulls_first", "strip",
+                 "key_indices")
+
+    def __init__(self, child: Plan, output_columns: list[str], key_start: int,
+                 descending: Sequence[bool],
+                 nulls_first: Sequence[Optional[bool]], strip: bool,
+                 key_indices: Optional[Sequence[int]] = None):
+        super().__init__(output_columns)
+        self.child = child
+        self.key_start = key_start
+        self.descending = list(descending)
+        self.nulls_first = list(nulls_first)
+        self.strip = strip
+        #: When set, sort keys are these column positions instead of a
+        #: trailing hidden-key block (used for ORDER BY over set operations).
+        self.key_indices = list(key_indices) if key_indices is not None else None
+
+    def children(self) -> list[Plan]:
+        return [self.child]
+
+    def instantiate(self, rt, ictx=None) -> "SortState":
+        return SortState(rt, self, self.child.instantiate(rt, ictx))
+
+
+class SortState(PlanState):
+    __slots__ = ("plan", "child", "rows", "pos")
+
+    def __init__(self, rt, plan: SortPlan, child: PlanState):
+        super().__init__(rt)
+        self.plan = plan
+        self.child = child
+        self.rows: list[tuple] = []
+        self.pos = 0
+
+    def open(self, outer) -> None:
+        self.child.open(outer)
+        plan = self.plan
+        rows = self.child.fetch_all()
+
+        def key(row: tuple):
+            if plan.key_indices is not None:
+                keys = tuple(row[i] for i in plan.key_indices)
+            else:
+                keys = row[plan.key_start:]
+            base = row_sort_key(keys, plan.descending)
+            # NULLS FIRST/LAST overrides: wrap once more when requested.
+            return tuple(
+                _null_adjust(part, value, plan.descending[i],
+                             plan.nulls_first[i])
+                for i, (part, value) in enumerate(zip(base, keys)))
+
+        rows.sort(key=key)
+        if plan.strip and plan.key_indices is None:
+            self.rows = [row[:plan.key_start] for row in rows]
+        else:
+            self.rows = rows
+        self.pos = 0
+
+    def next(self) -> Optional[tuple]:
+        if self.pos >= len(self.rows):
+            return None
+        row = self.rows[self.pos]
+        self.pos += 1
+        return row
+
+    def close(self) -> None:
+        self.child.close()
+
+
+def _null_adjust(key_part, value, descending: bool, nulls_first: Optional[bool]):
+    """Re-wrap a sort key to honour an explicit NULLS FIRST/LAST."""
+    if nulls_first is None:
+        return key_part
+    is_null = value is None
+    # Default placement: NULLS LAST for ASC, NULLS FIRST for DESC.
+    rank = 0 if (is_null and nulls_first) else (2 if is_null else 1)
+    return (rank, key_part if not is_null else 0)
+
+
+class LimitPlan(Plan):
+    """LIMIT/OFFSET; the bounds are compiled expressions (params allowed)."""
+
+    __slots__ = ("child", "limit", "offset", "subplans")
+
+    def __init__(self, child: Plan, limit, offset, subplans):
+        super().__init__(child.output_columns)
+        self.child = child
+        self.limit = limit
+        self.offset = offset
+        self.subplans = subplans
+
+    def children(self) -> list[Plan]:
+        return [self.child]
+
+    def instantiate(self, rt, ictx=None) -> "LimitState":
+        from .scan import make_slots
+        return LimitState(rt, self, self.child.instantiate(rt, ictx),
+                          make_slots(rt, ictx, self.subplans))
+
+
+class LimitState(PlanState):
+    __slots__ = ("plan", "child", "slots", "remaining", "to_skip")
+
+    def __init__(self, rt, plan: LimitPlan, child: PlanState, slots):
+        super().__init__(rt)
+        self.plan = plan
+        self.child = child
+        self.slots = slots
+        self.remaining: Optional[int] = None
+        self.to_skip = 0
+
+    def open(self, outer) -> None:
+        from ..expr import EvalContext
+        self.child.open(outer)
+        ctx = EvalContext(self.rt, (), parent=outer, slots=self.slots)
+        self.remaining = None
+        if self.plan.limit is not None:
+            value = self.plan.limit(ctx)
+            if value is not None:
+                if not isinstance(value, int) or value < 0:
+                    raise ExecutionError("LIMIT must be a non-negative integer")
+                self.remaining = value
+        self.to_skip = 0
+        if self.plan.offset is not None:
+            value = self.plan.offset(ctx)
+            if value is not None:
+                if not isinstance(value, int) or value < 0:
+                    raise ExecutionError("OFFSET must be a non-negative integer")
+                self.to_skip = value
+
+    def next(self) -> Optional[tuple]:
+        while self.to_skip > 0:
+            if self.child.next() is None:
+                return None
+            self.to_skip -= 1
+        if self.remaining is not None:
+            if self.remaining <= 0:
+                return None
+            self.remaining -= 1
+        return self.child.next()
+
+    def close(self) -> None:
+        self.child.close()
+
+
+class AppendPlan(Plan):
+    """UNION ALL — concatenate children."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: list[Plan], output_columns: list[str]):
+        super().__init__(output_columns)
+        self.parts = parts
+
+    def children(self) -> list[Plan]:
+        return self.parts
+
+    def instantiate(self, rt, ictx=None) -> "AppendState":
+        return AppendState(rt, [p.instantiate(rt, ictx) for p in self.parts])
+
+
+class AppendState(PlanState):
+    __slots__ = ("parts", "index", "outer")
+
+    def __init__(self, rt, parts: list[PlanState]):
+        super().__init__(rt)
+        self.parts = parts
+        self.index = 0
+        self.outer = None
+
+    def open(self, outer) -> None:
+        self.outer = outer
+        self.index = 0
+        if self.parts:
+            self.parts[0].open(outer)
+
+    def next(self) -> Optional[tuple]:
+        while self.index < len(self.parts):
+            row = self.parts[self.index].next()
+            if row is not None:
+                return row
+            self.index += 1
+            if self.index < len(self.parts):
+                self.parts[self.index].open(self.outer)
+        return None
+
+    def close(self) -> None:
+        for part in self.parts:
+            part.close()
+
+
+class SetOpPlan(Plan):
+    """UNION / INTERSECT / EXCEPT with SQL duplicate-elimination."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Plan, right: Plan,
+                 output_columns: list[str]):
+        super().__init__(output_columns)
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def children(self) -> list[Plan]:
+        return [self.left, self.right]
+
+    def label(self) -> str:
+        return self.op.upper()
+
+    def instantiate(self, rt, ictx=None) -> "SetOpState":
+        return SetOpState(rt, self, self.left.instantiate(rt, ictx),
+                          self.right.instantiate(rt, ictx))
+
+
+class SetOpState(PlanState):
+    __slots__ = ("plan", "left", "right", "rows", "pos")
+
+    def __init__(self, rt, plan: SetOpPlan, left: PlanState, right: PlanState):
+        super().__init__(rt)
+        self.plan = plan
+        self.left = left
+        self.right = right
+        self.rows: list[tuple] = []
+        self.pos = 0
+
+    def open(self, outer) -> None:
+        self.left.open(outer)
+        self.right.open(outer)
+        left_rows = self.left.fetch_all()
+        right_rows = self.right.fetch_all()
+        op = self.plan.op
+        out: list[tuple] = []
+        seen: set = set()
+        if op == "union":
+            for row in left_rows + right_rows:
+                key = _hashable_row(row)
+                if key not in seen:
+                    seen.add(key)
+                    out.append(row)
+        elif op == "intersect":
+            right_keys = {_hashable_row(r) for r in right_rows}
+            for row in left_rows:
+                key = _hashable_row(row)
+                if key in right_keys and key not in seen:
+                    seen.add(key)
+                    out.append(row)
+        elif op == "except":
+            right_keys = {_hashable_row(r) for r in right_rows}
+            for row in left_rows:
+                key = _hashable_row(row)
+                if key not in right_keys and key not in seen:
+                    seen.add(key)
+                    out.append(row)
+        else:
+            raise ExecutionError(f"unknown set operation {op!r}")
+        self.rows = out
+        self.pos = 0
+
+    def next(self) -> Optional[tuple]:
+        if self.pos >= len(self.rows):
+            return None
+        row = self.rows[self.pos]
+        self.pos += 1
+        return row
+
+    def close(self) -> None:
+        self.left.close()
+        self.right.close()

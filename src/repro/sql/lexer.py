@@ -1,0 +1,293 @@
+"""A lexer shared by the SQL parser and the PL/pgSQL parser.
+
+Produces a flat list of :class:`Token` objects.  Keywords are not
+distinguished from identifiers at the lexing stage — parsers match identifier
+tokens case-insensitively — which keeps the keyword set extensible and lets
+the two parsers disagree about what is reserved.
+
+Supported lexical forms:
+
+* bare identifiers (lower-cased, SQL-style folding),
+* quoted identifiers ``"call?"`` (case preserved, may contain any character),
+* string literals ``'it''s'`` with doubled-quote escaping,
+* dollar-quoted strings ``$$ ... $$`` and ``$tag$ ... $tag$`` (used for
+  function bodies),
+* integer and float literals (``1``, ``3.14``, ``1e-9``; ``1..n`` lexes as
+  ``1`` ``..`` ``n`` for PL/pgSQL FOR ranges),
+* positional parameters ``$1``,
+* operators and punctuation including ``::``, ``:=``, ``..``, ``||``,
+  ``<=``, ``>=``, ``<>``, ``!=``,
+* ``--`` line comments and nested ``/* */`` block comments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import ParseError
+
+# Token types
+IDENT = "IDENT"        # bare identifier, value lower-cased
+QIDENT = "QIDENT"      # quoted identifier, value as written
+NUMBER = "NUMBER"      # value is int or float
+STRING = "STRING"      # value is the unescaped string
+PARAM = "PARAM"        # $1 style positional parameter, value is int index
+OP = "OP"              # operator or punctuation, value is the operator text
+EOF = "EOF"
+
+#: Multi-character operators, longest first so maximal munch works.
+_OPERATORS = [
+    "::", ":=", "..", "||", "<=", ">=", "<>", "!=", "=>",
+    "(", ")", ",", ";", ".", "=", "<", ">", "+", "-", "*", "/", "%",
+    "[", "]", ":",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    type: str
+    value: object
+    line: int
+    column: int
+
+    def matches_keyword(self, keyword: str) -> bool:
+        """True when this token is the bare identifier *keyword* (any case)."""
+        return self.type == IDENT and self.value == keyword.lower()
+
+    def __repr__(self) -> str:  # compact, for parser error messages
+        return f"{self.type}:{self.value!r}"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Lex *text* into a token list ending with an EOF token."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(text)
+
+    def col(pos: int) -> int:
+        return pos - line_start + 1
+
+    def error(message: str, pos: int):
+        raise ParseError(message, line, col(pos))
+
+    while i < n:
+        ch = text[i]
+        # Whitespace ----------------------------------------------------
+        if ch in " \t\r":
+            i += 1
+            continue
+        if ch == "\n":
+            i += 1
+            line += 1
+            line_start = i
+            continue
+        # Comments ------------------------------------------------------
+        if ch == "-" and text.startswith("--", i):
+            end = text.find("\n", i)
+            i = n if end == -1 else end
+            continue
+        if ch == "/" and text.startswith("/*", i):
+            depth = 1
+            j = i + 2
+            while j < n and depth:
+                if text.startswith("/*", j):
+                    depth += 1
+                    j += 2
+                elif text.startswith("*/", j):
+                    depth -= 1
+                    j += 2
+                else:
+                    if text[j] == "\n":
+                        line += 1
+                        line_start = j + 1
+                    j += 1
+            if depth:
+                error("unterminated block comment", i)
+            i = j
+            continue
+        # String literal --------------------------------------------------
+        if ch == "'":
+            j = i + 1
+            parts: list[str] = []
+            while True:
+                if j >= n:
+                    error("unterminated string literal", i)
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":
+                        parts.append("'")
+                        j += 2
+                        continue
+                    j += 1
+                    break
+                if text[j] == "\n":
+                    line += 1
+                    line_start = j + 1
+                parts.append(text[j])
+                j += 1
+            tokens.append(Token(STRING, "".join(parts), line, col(i)))
+            i = j
+            continue
+        # Quoted identifier ----------------------------------------------
+        if ch == '"':
+            j = i + 1
+            parts = []
+            while True:
+                if j >= n:
+                    error("unterminated quoted identifier", i)
+                if text[j] == '"':
+                    if j + 1 < n and text[j + 1] == '"':
+                        parts.append('"')
+                        j += 2
+                        continue
+                    j += 1
+                    break
+                parts.append(text[j])
+                j += 1
+            tokens.append(Token(QIDENT, "".join(parts), line, col(i)))
+            i = j
+            continue
+        # Dollar quoting / positional parameters --------------------------
+        if ch == "$":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            if j < n and text[j] == "$":
+                tag = text[i:j + 1]  # e.g. "$$" or "$body$"
+                end = text.find(tag, j + 1)
+                if end == -1:
+                    error(f"unterminated dollar-quoted string {tag}", i)
+                body = text[j + 1:end]
+                line += body.count("\n")
+                if "\n" in body:
+                    line_start = j + 1 + body.rfind("\n") + 1
+                tokens.append(Token(STRING, body, line, col(i)))
+                i = end + len(tag)
+                continue
+            digits = text[i + 1:j]
+            if digits.isdigit():
+                tokens.append(Token(PARAM, int(digits), line, col(i)))
+                i = j
+                continue
+            error("unexpected character '$'", i)
+        # Numbers ---------------------------------------------------------
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            while j < n and text[j].isdigit():
+                j += 1
+            is_float = False
+            # A '.' begins a fraction only if NOT followed by another '.'
+            # (so "1..n" lexes as NUMBER OP OP-range).
+            if j < n and text[j] == "." and not text.startswith("..", j):
+                is_float = True
+                j += 1
+                while j < n and text[j].isdigit():
+                    j += 1
+            if j < n and text[j] in "eE":
+                k = j + 1
+                if k < n and text[k] in "+-":
+                    k += 1
+                if k < n and text[k].isdigit():
+                    is_float = True
+                    j = k
+                    while j < n and text[j].isdigit():
+                        j += 1
+            literal = text[i:j]
+            value = float(literal) if is_float else int(literal)
+            tokens.append(Token(NUMBER, value, line, col(i)))
+            i = j
+            continue
+        # Identifiers -------------------------------------------------------
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            tokens.append(Token(IDENT, text[i:j].lower(), line, col(i)))
+            i = j
+            continue
+        # Operators ----------------------------------------------------------
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token(OP, op, line, col(i)))
+                i += len(op)
+                break
+        else:
+            error(f"unexpected character {ch!r}", i)
+    tokens.append(Token(EOF, None, line, col(i)))
+    return tokens
+
+
+class TokenStream:
+    """Cursor over a token list with the lookahead helpers parsers need."""
+
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    @classmethod
+    def from_text(cls, text: str) -> "TokenStream":
+        return cls(tokenize(text))
+
+    # -- inspection ----------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def at_end(self) -> bool:
+        return self.peek().type == EOF
+
+    def at_keyword(self, *keywords: str) -> bool:
+        token = self.peek()
+        return token.type == IDENT and token.value in {k.lower() for k in keywords}
+
+    def at_op(self, *ops: str) -> bool:
+        token = self.peek()
+        return token.type == OP and token.value in ops
+
+    def save(self) -> int:
+        return self._pos
+
+    def restore(self, mark: int) -> None:
+        self._pos = mark
+
+    # -- consumption ---------------------------------------------------
+    def advance(self) -> Token:
+        token = self.peek()
+        if token.type != EOF:
+            self._pos += 1
+        return token
+
+    def accept_keyword(self, *keywords: str) -> Token | None:
+        if self.at_keyword(*keywords):
+            return self.advance()
+        return None
+
+    def accept_op(self, *ops: str) -> Token | None:
+        if self.at_op(*ops):
+            return self.advance()
+        return None
+
+    def expect_keyword(self, keyword: str) -> Token:
+        if not self.at_keyword(keyword):
+            token = self.peek()
+            raise ParseError(f"expected {keyword.upper()}, found {token}",
+                             token.line, token.column)
+        return self.advance()
+
+    def expect_op(self, op: str) -> Token:
+        if not self.at_op(op):
+            token = self.peek()
+            raise ParseError(f"expected {op!r}, found {token}", token.line, token.column)
+        return self.advance()
+
+    def expect_ident(self, what: str = "identifier") -> str:
+        """Consume a bare or quoted identifier and return its name."""
+        token = self.peek()
+        if token.type == IDENT:
+            self.advance()
+            return str(token.value)
+        if token.type == QIDENT:
+            self.advance()
+            return str(token.value)
+        raise ParseError(f"expected {what}, found {token}", token.line, token.column)

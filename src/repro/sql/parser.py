@@ -1,0 +1,902 @@
+"""Recursive-descent parser for the engine's SQL dialect.
+
+The grammar covers the SQL surface the paper's pipeline needs — and then
+some:
+
+* SELECT / FROM / WHERE / GROUP BY / HAVING / WINDOW / ORDER BY / LIMIT /
+  OFFSET, DISTINCT, set operations (UNION [ALL], INTERSECT, EXCEPT),
+* ``WITH [RECURSIVE | ITERATE]`` common table expressions,
+* joins: comma, CROSS/INNER/LEFT [OUTER] JOIN, ``LEFT JOIN LATERAL ... ON``,
+* window functions with named windows, frame clauses, and
+  ``EXCLUDE CURRENT ROW`` (the paper's Q2 uses all of these),
+* scalar subqueries, EXISTS, IN, BETWEEN, LIKE/ILIKE, IS [NOT] NULL/TRUE,
+* CASE (simple and searched), CAST and ``::``, ROW(...), ARRAY[...],
+  subscripting, composite field access,
+* DDL/DML: CREATE TABLE / TYPE / FUNCTION, INSERT, UPDATE, DELETE, DROP.
+
+Entry points: :func:`parse_statement`, :func:`parse_select`,
+:func:`parse_expression`, :func:`parse_script`.
+"""
+
+from __future__ import annotations
+
+from . import ast as A
+from .errors import ParseError
+from .lexer import EOF, IDENT, NUMBER, OP, PARAM, QIDENT, STRING, Token, TokenStream
+
+# Keywords that terminate an expression / cannot start an alias.
+_CLAUSE_KEYWORDS = {
+    "from", "where", "group", "having", "order", "limit", "offset", "union",
+    "intersect", "except", "window", "on", "join", "inner", "left", "right",
+    "full", "cross", "lateral", "as", "when", "then", "else", "end", "and",
+    "or", "not", "in", "between", "like", "ilike", "is", "asc", "desc",
+    "nulls", "using", "returning", "loop", "do", "values", "set", "into",
+    "partition", "rows", "range", "groups", "exclude", "over", "filter",
+    "by", "all", "distinct", "case", "cast", "exists", "array", "row",
+    "reverse", "to", "for", "while", "if", "elsif", "return",
+}
+
+_TYPE_KEYWORDS_TWO_WORDS = {("double", "precision"), ("character", "varying")}
+
+
+class SqlParser:
+    """Stateful wrapper pairing a :class:`TokenStream` with grammar rules."""
+
+    def __init__(self, stream: TokenStream):
+        self.ts = stream
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+
+    def parse_statement(self) -> A.Statement:
+        ts = self.ts
+        if ts.at_keyword("select", "with", "values") or ts.at_op("("):
+            return self.parse_select()
+        if ts.at_keyword("create"):
+            return self._parse_create()
+        if ts.at_keyword("insert"):
+            return self._parse_insert()
+        if ts.at_keyword("update"):
+            return self._parse_update()
+        if ts.at_keyword("delete"):
+            return self._parse_delete()
+        if ts.at_keyword("drop"):
+            return self._parse_drop()
+        token = ts.peek()
+        raise ParseError(f"unexpected start of statement: {token}",
+                         token.line, token.column)
+
+    def parse_script(self) -> list[A.Statement]:
+        """Parse a ``;``-separated sequence of statements."""
+        statements = []
+        while True:
+            while self.ts.accept_op(";"):
+                pass
+            if self.ts.at_end():
+                break
+            statements.append(self.parse_statement())
+        return statements
+
+    # ------------------------------------------------------------------
+    # SELECT
+    # ------------------------------------------------------------------
+
+    def parse_select(self) -> A.SelectStmt:
+        with_clause = self._parse_with_clause()
+        body = self._parse_set_expr()
+        order_by: list[A.SortItem] = []
+        limit = offset = None
+        if self.ts.accept_keyword("order"):
+            self.ts.expect_keyword("by")
+            order_by = self._parse_sort_items()
+        if self.ts.accept_keyword("limit"):
+            if not self.ts.accept_keyword("all"):
+                limit = self.parse_expression()
+        if self.ts.accept_keyword("offset"):
+            offset = self.parse_expression()
+        return A.SelectStmt(with_clause, body, order_by, limit, offset)
+
+    def _parse_with_clause(self) -> A.WithClause | None:
+        if not self.ts.accept_keyword("with"):
+            return None
+        recursive = bool(self.ts.accept_keyword("recursive"))
+        iterate = False
+        if not recursive and self.ts.accept_keyword("iterate"):
+            recursive = True
+            iterate = True
+        ctes = [self._parse_cte()]
+        while self.ts.accept_op(","):
+            ctes.append(self._parse_cte())
+        return A.WithClause(recursive, ctes, iterate)
+
+    def _parse_cte(self) -> A.CommonTableExpr:
+        name = self.ts.expect_ident("CTE name")
+        column_names = None
+        if self.ts.at_op("("):
+            self.ts.advance()
+            column_names = [self.ts.expect_ident("column name")]
+            while self.ts.accept_op(","):
+                column_names.append(self.ts.expect_ident("column name"))
+            self.ts.expect_op(")")
+        self.ts.expect_keyword("as")
+        self.ts.expect_op("(")
+        query = self.parse_select()
+        self.ts.expect_op(")")
+        return A.CommonTableExpr(name, column_names, query)
+
+    def _parse_set_expr(self):
+        left = self._parse_set_primary()
+        while True:
+            if self.ts.at_keyword("union"):
+                self.ts.advance()
+                op = "union_all" if self.ts.accept_keyword("all") else "union"
+            elif self.ts.at_keyword("intersect"):
+                self.ts.advance()
+                op = "intersect"
+            elif self.ts.at_keyword("except"):
+                self.ts.advance()
+                op = "except"
+            else:
+                return left
+            right = self._parse_set_primary()
+            left = A.SetOp(op, left, right)
+
+    def _parse_set_primary(self):
+        if self.ts.at_op("("):
+            self.ts.advance()
+            inner = self.parse_select()
+            self.ts.expect_op(")")
+            # A parenthesised SELECT in body position: fold trivial wrappers.
+            if not inner.order_by and inner.limit is None and inner.offset is None \
+                    and inner.with_clause is None:
+                return inner.body
+            # Keep richer inner queries intact by wrapping as a subquery body.
+            return A.SelectCore(items=[A.Star(None)],
+                                from_clause=A.SubqueryRef(inner, alias="_paren"))
+        if self.ts.at_keyword("values"):
+            return self._parse_values()
+        return self._parse_select_core()
+
+    def _parse_values(self) -> A.ValuesClause:
+        self.ts.expect_keyword("values")
+        rows = [self._parse_values_row()]
+        while self.ts.accept_op(","):
+            rows.append(self._parse_values_row())
+        return A.ValuesClause(rows)
+
+    def _parse_values_row(self) -> list[A.Expr]:
+        self.ts.expect_op("(")
+        row = [self.parse_expression()]
+        while self.ts.accept_op(","):
+            row.append(self.parse_expression())
+        self.ts.expect_op(")")
+        return row
+
+    def _parse_select_core(self) -> A.SelectCore:
+        self.ts.expect_keyword("select")
+        return self._parse_select_core_after_keyword()
+
+    def _parse_select_core_after_keyword(self) -> A.SelectCore:
+        """Parse a SELECT core with the SELECT keyword already consumed
+        (also used by PL/pgSQL's PERFORM, which has SELECT-list syntax)."""
+        distinct = False
+        if self.ts.accept_keyword("distinct"):
+            distinct = True
+        elif self.ts.accept_keyword("all"):
+            pass
+        items = [self._parse_select_item()]
+        while self.ts.accept_op(","):
+            items.append(self._parse_select_item())
+        from_clause = None
+        if self.ts.accept_keyword("from"):
+            from_clause = self._parse_table_expr()
+        where = None
+        if self.ts.accept_keyword("where"):
+            where = self.parse_expression()
+        group_by: list[A.Expr] = []
+        if self.ts.accept_keyword("group"):
+            self.ts.expect_keyword("by")
+            group_by.append(self.parse_expression())
+            while self.ts.accept_op(","):
+                group_by.append(self.parse_expression())
+        having = None
+        if self.ts.accept_keyword("having"):
+            having = self.parse_expression()
+        windows: dict[str, A.WindowSpec] = {}
+        if self.ts.accept_keyword("window"):
+            while True:
+                name = self.ts.expect_ident("window name")
+                self.ts.expect_keyword("as")
+                self.ts.expect_op("(")
+                windows[name] = self._parse_window_spec()
+                self.ts.expect_op(")")
+                if not self.ts.accept_op(","):
+                    break
+        return A.SelectCore(items, from_clause, where, group_by, having,
+                            distinct, windows)
+
+    def _parse_select_item(self):
+        ts = self.ts
+        if ts.at_op("*"):
+            ts.advance()
+            return A.Star(None)
+        # Look for "ident(.ident)*.*" which is a qualified star.
+        mark = ts.save()
+        if ts.peek().type in (IDENT, QIDENT):
+            parts = [ts.advance().value]
+            while ts.at_op(".") and ts.peek(1).type in (IDENT, QIDENT, OP):
+                if ts.peek(1).type == OP and ts.peek(1).value == "*":
+                    ts.advance()  # '.'
+                    ts.advance()  # '*'
+                    return A.Star(str(parts[-1]))
+                if ts.peek(1).type in (IDENT, QIDENT):
+                    ts.advance()
+                    parts.append(ts.advance().value)
+                else:
+                    break
+            ts.restore(mark)
+        expr = self.parse_expression()
+        alias = None
+        if ts.accept_keyword("as"):
+            alias = ts.expect_ident("column alias")
+        elif ts.peek().type == QIDENT or (
+                ts.peek().type == IDENT and ts.peek().value not in _CLAUSE_KEYWORDS):
+            alias = ts.expect_ident("column alias")
+        return A.SelectItem(expr, alias)
+
+    # ------------------------------------------------------------------
+    # FROM clause
+    # ------------------------------------------------------------------
+
+    def _parse_table_expr(self) -> A.TableRef:
+        left = self._parse_table_primary()
+        while True:
+            ts = self.ts
+            if ts.accept_op(","):
+                right = self._parse_table_primary()
+                left = A.Join("cross", left, right)
+                continue
+            if ts.at_keyword("cross"):
+                ts.advance()
+                ts.expect_keyword("join")
+                right = self._parse_table_primary()
+                left = A.Join("cross", left, right)
+                continue
+            kind = None
+            if ts.at_keyword("join") or ts.at_keyword("inner"):
+                if ts.accept_keyword("inner"):
+                    pass
+                ts.expect_keyword("join")
+                kind = "inner"
+            elif ts.at_keyword("left"):
+                ts.advance()
+                ts.accept_keyword("outer")
+                ts.expect_keyword("join")
+                kind = "left"
+            else:
+                return left
+            right = self._parse_table_primary()
+            condition = None
+            if ts.accept_keyword("on"):
+                condition = self.parse_expression()
+            left = A.Join(kind, left, right, condition)
+
+    def _parse_table_primary(self) -> A.TableRef:
+        ts = self.ts
+        lateral = bool(ts.accept_keyword("lateral"))
+        if ts.at_op("("):
+            ts.advance()
+            if ts.at_keyword("select", "with", "values") or ts.at_op("("):
+                query = self.parse_select()
+                ts.expect_op(")")
+                alias, column_aliases = self._parse_table_alias(required=False)
+                return A.SubqueryRef(query, alias or "_anon", column_aliases, lateral)
+            # Parenthesised join tree.
+            inner = self._parse_table_expr()
+            ts.expect_op(")")
+            return inner
+        name = ts.expect_ident("table name")
+        alias, column_aliases = self._parse_table_alias(required=False)
+        if lateral:
+            token = ts.peek()
+            raise ParseError("LATERAL requires a subquery", token.line, token.column)
+        return A.TableName(name, alias, column_aliases)
+
+    def _parse_table_alias(self, required: bool):
+        ts = self.ts
+        alias = None
+        if ts.accept_keyword("as"):
+            alias = ts.expect_ident("table alias")
+        elif ts.peek().type == QIDENT or (
+                ts.peek().type == IDENT and ts.peek().value not in _CLAUSE_KEYWORDS):
+            alias = ts.expect_ident("table alias")
+        elif required:
+            token = ts.peek()
+            raise ParseError("subquery in FROM must have an alias",
+                             token.line, token.column)
+        column_aliases = None
+        if alias is not None and ts.at_op("("):
+            ts.advance()
+            column_aliases = [ts.expect_ident("column alias")]
+            while ts.accept_op(","):
+                column_aliases.append(ts.expect_ident("column alias"))
+            ts.expect_op(")")
+        return alias, column_aliases
+
+    # ------------------------------------------------------------------
+    # Window specifications
+    # ------------------------------------------------------------------
+
+    def _parse_window_spec(self) -> A.WindowSpec:
+        ts = self.ts
+        spec = A.WindowSpec()
+        # Optional base window name (must not be PARTITION/ORDER/frame word).
+        if ts.peek().type == IDENT and ts.peek().value not in (
+                "partition", "order", "rows", "range", "groups") \
+                and not ts.at_op(")"):
+            spec.ref_name = ts.expect_ident("window name")
+        if ts.accept_keyword("partition"):
+            ts.expect_keyword("by")
+            spec.partition_by.append(self.parse_expression())
+            while ts.accept_op(","):
+                spec.partition_by.append(self.parse_expression())
+        if ts.accept_keyword("order"):
+            ts.expect_keyword("by")
+            spec.order_by = self._parse_sort_items()
+        if ts.at_keyword("rows", "range", "groups"):
+            spec.frame = self._parse_frame_spec()
+        return spec
+
+    def _parse_frame_spec(self) -> A.FrameSpec:
+        ts = self.ts
+        mode = ts.advance().value  # rows | range | groups
+        if ts.accept_keyword("between"):
+            start = self._parse_frame_bound()
+            ts.expect_keyword("and")
+            end = self._parse_frame_bound()
+        else:
+            start = self._parse_frame_bound()
+            end = A.FrameBound("current")
+        exclusion = None
+        if ts.accept_keyword("exclude"):
+            if ts.accept_keyword("current"):
+                ts.expect_keyword("row")
+                exclusion = "current row"
+            elif ts.accept_keyword("ties"):
+                exclusion = "ties"
+            elif ts.accept_keyword("group"):
+                exclusion = "group"
+            elif ts.accept_keyword("no"):
+                ts.expect_keyword("others")
+                exclusion = None
+            else:
+                token = ts.peek()
+                raise ParseError(f"bad EXCLUDE clause at {token}",
+                                 token.line, token.column)
+        return A.FrameSpec(str(mode), start, end, exclusion)
+
+    def _parse_frame_bound(self) -> A.FrameBound:
+        ts = self.ts
+        if ts.accept_keyword("unbounded"):
+            if ts.accept_keyword("preceding"):
+                return A.FrameBound("unbounded_preceding")
+            ts.expect_keyword("following")
+            return A.FrameBound("unbounded_following")
+        if ts.accept_keyword("current"):
+            ts.expect_keyword("row")
+            return A.FrameBound("current")
+        offset = self.parse_expression()
+        if ts.accept_keyword("preceding"):
+            return A.FrameBound("preceding", offset)
+        ts.expect_keyword("following")
+        return A.FrameBound("following", offset)
+
+    def _parse_sort_items(self) -> list[A.SortItem]:
+        items = [self._parse_sort_item()]
+        while self.ts.accept_op(","):
+            items.append(self._parse_sort_item())
+        return items
+
+    def _parse_sort_item(self) -> A.SortItem:
+        expr = self.parse_expression()
+        descending = False
+        if self.ts.accept_keyword("asc"):
+            pass
+        elif self.ts.accept_keyword("desc"):
+            descending = True
+        nulls_first = None
+        if self.ts.accept_keyword("nulls"):
+            if self.ts.accept_keyword("first"):
+                nulls_first = True
+            else:
+                self.ts.expect_keyword("last")
+                nulls_first = False
+        return A.SortItem(expr, descending, nulls_first)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+
+    def parse_expression(self) -> A.Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> A.Expr:
+        left = self._parse_and()
+        while self.ts.accept_keyword("or"):
+            left = A.BinaryOp("or", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> A.Expr:
+        left = self._parse_not()
+        while self.ts.accept_keyword("and"):
+            left = A.BinaryOp("and", left, self._parse_not())
+        return left
+
+    def _parse_not(self) -> A.Expr:
+        if self.ts.accept_keyword("not"):
+            return A.UnaryOp("not", self._parse_not())
+        return self._parse_comparison()
+
+    def _parse_comparison(self) -> A.Expr:
+        left = self._parse_additive()
+        while True:
+            ts = self.ts
+            if ts.at_op("=", "<>", "!=", "<", "<=", ">", ">="):
+                op = str(ts.advance().value)
+                if op == "!=":
+                    op = "<>"
+                right = self._parse_additive()
+                left = A.BinaryOp(op, left, right)
+                continue
+            if ts.at_keyword("is"):
+                ts.advance()
+                negated = bool(ts.accept_keyword("not"))
+                if ts.accept_keyword("null"):
+                    left = A.IsNull(left, negated)
+                elif ts.accept_keyword("true"):
+                    left = A.IsBool(left, True, negated)
+                elif ts.accept_keyword("false"):
+                    left = A.IsBool(left, False, negated)
+                elif ts.accept_keyword("distinct"):
+                    ts.expect_keyword("from")
+                    right = self._parse_additive()
+                    left = _is_distinct(left, right, negated)
+                else:
+                    token = ts.peek()
+                    raise ParseError(f"bad IS expression at {token}",
+                                     token.line, token.column)
+                continue
+            negated = False
+            mark = ts.save()
+            if ts.at_keyword("not"):
+                ts.advance()
+                negated = True
+            if ts.accept_keyword("between"):
+                low = self._parse_additive()
+                ts.expect_keyword("and")
+                high = self._parse_additive()
+                left = A.Between(left, low, high, negated)
+                continue
+            if ts.accept_keyword("in"):
+                left = self._parse_in_tail(left, negated)
+                continue
+            if ts.at_keyword("like", "ilike"):
+                ci = ts.advance().value == "ilike"
+                pattern = self._parse_additive()
+                left = A.Like(left, pattern, negated, bool(ci))
+                continue
+            if negated:
+                ts.restore(mark)
+            return left
+
+    def _parse_in_tail(self, operand: A.Expr, negated: bool) -> A.Expr:
+        ts = self.ts
+        ts.expect_op("(")
+        if ts.at_keyword("select", "with", "values"):
+            query = self.parse_select()
+            ts.expect_op(")")
+            return A.InSubquery(operand, query, negated)
+        items = [self.parse_expression()]
+        while ts.accept_op(","):
+            items.append(self.parse_expression())
+        ts.expect_op(")")
+        return A.InList(operand, items, negated)
+
+    def _parse_additive(self) -> A.Expr:
+        left = self._parse_multiplicative()
+        while self.ts.at_op("+", "-", "||"):
+            op = str(self.ts.advance().value)
+            left = A.BinaryOp(op, left, self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self) -> A.Expr:
+        left = self._parse_unary()
+        while self.ts.at_op("*", "/", "%"):
+            op = str(self.ts.advance().value)
+            left = A.BinaryOp(op, left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> A.Expr:
+        if self.ts.at_op("-", "+"):
+            op = str(self.ts.advance().value)
+            operand = self._parse_unary()
+            if op == "-" and isinstance(operand, A.Literal) and \
+                    isinstance(operand.value, (int, float)) and \
+                    not isinstance(operand.value, bool):
+                return A.Literal(-operand.value)
+            return A.UnaryOp(op, operand) if op == "-" else operand
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> A.Expr:
+        expr = self._parse_primary()
+        while True:
+            ts = self.ts
+            if ts.at_op("::"):
+                ts.advance()
+                expr = A.Cast(expr, self._parse_type_name())
+                continue
+            if ts.at_op("["):
+                ts.advance()
+                index = self.parse_expression()
+                ts.expect_op("]")
+                expr = A.ArrayIndex(expr, index)
+                continue
+            if ts.at_op(".") and ts.peek(1).type in (IDENT, QIDENT):
+                ts.advance()
+                name = ts.expect_ident("field name")
+                if isinstance(expr, A.ColumnRef):
+                    expr = A.ColumnRef(expr.parts + (name,))
+                else:
+                    expr = A.FieldAccess(expr, name)
+                continue
+            return expr
+
+    def _parse_primary(self) -> A.Expr:
+        ts = self.ts
+        token = ts.peek()
+        if token.type == NUMBER:
+            ts.advance()
+            return A.Literal(token.value)
+        if token.type == STRING:
+            ts.advance()
+            return A.Literal(token.value)
+        if token.type == PARAM:
+            ts.advance()
+            return A.Param(int(token.value))  # type: ignore[arg-type]
+        if ts.accept_keyword("true"):
+            return A.Literal(True)
+        if ts.accept_keyword("false"):
+            return A.Literal(False)
+        if ts.accept_keyword("null"):
+            return A.Literal(None)
+        if ts.at_keyword("case"):
+            return self._parse_case()
+        if ts.at_keyword("cast"):
+            ts.advance()
+            ts.expect_op("(")
+            operand = self.parse_expression()
+            ts.expect_keyword("as")
+            type_name = self._parse_type_name()
+            ts.expect_op(")")
+            return A.Cast(operand, type_name)
+        if ts.at_keyword("exists"):
+            ts.advance()
+            ts.expect_op("(")
+            query = self.parse_select()
+            ts.expect_op(")")
+            return A.Exists(query)
+        if ts.at_keyword("array") and ts.peek(1).type == OP and ts.peek(1).value == "[":
+            ts.advance()
+            ts.advance()
+            items = []
+            if not ts.at_op("]"):
+                items.append(self.parse_expression())
+                while ts.accept_op(","):
+                    items.append(self.parse_expression())
+            ts.expect_op("]")
+            return A.ArrayExpr(items)
+        if ts.at_keyword("row") and ts.peek(1).type == OP and ts.peek(1).value == "(":
+            ts.advance()
+            ts.advance()
+            items = []
+            if not ts.at_op(")"):
+                items.append(self.parse_expression())
+                while ts.accept_op(","):
+                    items.append(self.parse_expression())
+            ts.expect_op(")")
+            return A.RowExpr(items)
+        if ts.at_op("("):
+            ts.advance()
+            if ts.at_keyword("select", "with", "values"):
+                query = self.parse_select()
+                ts.expect_op(")")
+                return A.ScalarSubquery(query)
+            expr = self.parse_expression()
+            if ts.at_op(","):
+                items = [expr]
+                while ts.accept_op(","):
+                    items.append(self.parse_expression())
+                ts.expect_op(")")
+                return A.RowExpr(items)
+            ts.expect_op(")")
+            return expr
+        if token.type in (IDENT, QIDENT):
+            # Function call?
+            if ts.peek(1).type == OP and ts.peek(1).value == "(":
+                return self._parse_func_call()
+            name = ts.expect_ident()
+            return A.ColumnRef((name,))
+        raise ParseError(f"unexpected token in expression: {token}",
+                         token.line, token.column)
+
+    def _parse_case(self) -> A.CaseExpr:
+        ts = self.ts
+        ts.expect_keyword("case")
+        operand = None
+        if not ts.at_keyword("when"):
+            operand = self.parse_expression()
+        whens: list[tuple[A.Expr, A.Expr]] = []
+        while ts.accept_keyword("when"):
+            cond = self.parse_expression()
+            ts.expect_keyword("then")
+            result = self.parse_expression()
+            whens.append((cond, result))
+        else_result = None
+        if ts.accept_keyword("else"):
+            else_result = self.parse_expression()
+        ts.expect_keyword("end")
+        if not whens:
+            token = ts.peek()
+            raise ParseError("CASE requires at least one WHEN",
+                             token.line, token.column)
+        return A.CaseExpr(operand, whens, else_result)
+
+    def _parse_func_call(self) -> A.Expr:
+        ts = self.ts
+        name = ts.expect_ident("function name")
+        ts.expect_op("(")
+        star = False
+        distinct = False
+        args: list[A.Expr] = []
+        if ts.at_op("*"):
+            ts.advance()
+            star = True
+        elif not ts.at_op(")"):
+            if ts.accept_keyword("distinct"):
+                distinct = True
+            args.append(self.parse_expression())
+            while ts.accept_op(","):
+                args.append(self.parse_expression())
+        ts.expect_op(")")
+        window: A.WindowSpec | str | None = None
+        if ts.accept_keyword("over"):
+            if ts.at_op("("):
+                ts.advance()
+                window = self._parse_window_spec()
+                ts.expect_op(")")
+            else:
+                window = ts.expect_ident("window name")
+        return A.FuncCall(name, args, star, distinct, window)
+
+    def _parse_type_name(self) -> str:
+        ts = self.ts
+        first = ts.expect_ident("type name")
+        if ts.peek().type == IDENT and (first, ts.peek().value) in _TYPE_KEYWORDS_TWO_WORDS:
+            second = ts.expect_ident()
+            name = f"{first} {second}"
+        else:
+            name = first
+        # Swallow a parenthesised precision: varchar(10), numeric(8,2).
+        if ts.at_op("("):
+            ts.advance()
+            while not ts.at_op(")"):
+                ts.advance()
+            ts.expect_op(")")
+        # Array suffix: int[]
+        if ts.at_op("[") and ts.peek(1).type == OP and ts.peek(1).value == "]":
+            ts.advance()
+            ts.advance()
+            name = name + "[]"
+        return name
+
+    # ------------------------------------------------------------------
+    # DDL / DML
+    # ------------------------------------------------------------------
+
+    def _parse_create(self):
+        ts = self.ts
+        ts.expect_keyword("create")
+        replace = False
+        if ts.accept_keyword("or"):
+            ts.expect_keyword("replace")
+            replace = True
+        if ts.accept_keyword("table"):
+            if_not_exists = False
+            if ts.accept_keyword("if"):
+                ts.expect_keyword("not")
+                ts.expect_keyword("exists")
+                if_not_exists = True
+            name = ts.expect_ident("table name")
+            ts.expect_op("(")
+            columns = [self._parse_column_def()]
+            while ts.accept_op(","):
+                columns.append(self._parse_column_def())
+            ts.expect_op(")")
+            return A.CreateTable(name, columns, if_not_exists)
+        if ts.accept_keyword("type"):
+            name = ts.expect_ident("type name")
+            ts.expect_keyword("as")
+            ts.expect_op("(")
+            fields = [self._parse_column_def()]
+            while ts.accept_op(","):
+                fields.append(self._parse_column_def())
+            ts.expect_op(")")
+            return A.CreateType(name, fields)
+        if ts.accept_keyword("function"):
+            return self._parse_create_function(replace)
+        token = ts.peek()
+        raise ParseError(f"unsupported CREATE statement at {token}",
+                         token.line, token.column)
+
+    def _parse_column_def(self) -> A.ColumnDef:
+        name = self.ts.expect_ident("column name")
+        type_name = self._parse_type_name()
+        # Ignore simple column constraints.
+        while self.ts.at_keyword("primary", "not", "unique", "default"):
+            if self.ts.accept_keyword("primary"):
+                self.ts.expect_keyword("key")
+            elif self.ts.accept_keyword("not"):
+                self.ts.expect_keyword("null")
+            elif self.ts.accept_keyword("unique"):
+                pass
+            elif self.ts.accept_keyword("default"):
+                self._parse_additive()
+        return A.ColumnDef(name, type_name)
+
+    def _parse_create_function(self, replace: bool) -> A.CreateFunction:
+        ts = self.ts
+        name = ts.expect_ident("function name")
+        ts.expect_op("(")
+        params: list[A.FunctionParam] = []
+        if not ts.at_op(")"):
+            params.append(self._parse_function_param())
+            while ts.accept_op(","):
+                params.append(self._parse_function_param())
+        ts.expect_op(")")
+        ts.expect_keyword("returns")
+        return_type = self._parse_type_name()
+        body: str | None = None
+        language: str | None = None
+        while True:
+            if ts.accept_keyword("as"):
+                token = ts.peek()
+                if token.type != STRING:
+                    raise ParseError("function body must be a string literal",
+                                     token.line, token.column)
+                ts.advance()
+                body = str(token.value)
+            elif ts.accept_keyword("language"):
+                language = ts.expect_ident("language name").lower()
+            elif ts.at_keyword("strict", "immutable", "stable", "volatile"):
+                ts.advance()
+            else:
+                break
+        if body is None or language is None:
+            token = ts.peek()
+            raise ParseError("CREATE FUNCTION needs AS body and LANGUAGE",
+                             token.line, token.column)
+        return A.CreateFunction(name, params, return_type, language, body, replace)
+
+    def _parse_function_param(self) -> A.FunctionParam:
+        name = self.ts.expect_ident("parameter name")
+        type_name = self._parse_type_name()
+        return A.FunctionParam(name, type_name)
+
+    def _parse_insert(self) -> A.Insert:
+        ts = self.ts
+        ts.expect_keyword("insert")
+        ts.expect_keyword("into")
+        table = ts.expect_ident("table name")
+        columns = None
+        if ts.at_op("("):
+            ts.advance()
+            columns = [ts.expect_ident("column name")]
+            while ts.accept_op(","):
+                columns.append(ts.expect_ident("column name"))
+            ts.expect_op(")")
+        source = self.parse_select()
+        return A.Insert(table, columns, source)
+
+    def _parse_update(self) -> A.Update:
+        ts = self.ts
+        ts.expect_keyword("update")
+        table = ts.expect_ident("table name")
+        ts.expect_keyword("set")
+        assignments = [self._parse_assignment()]
+        while ts.accept_op(","):
+            assignments.append(self._parse_assignment())
+        where = None
+        if ts.accept_keyword("where"):
+            where = self.parse_expression()
+        return A.Update(table, assignments, where)
+
+    def _parse_assignment(self) -> tuple[str, A.Expr]:
+        name = self.ts.expect_ident("column name")
+        self.ts.expect_op("=")
+        return name, self.parse_expression()
+
+    def _parse_delete(self) -> A.Delete:
+        ts = self.ts
+        ts.expect_keyword("delete")
+        ts.expect_keyword("from")
+        table = ts.expect_ident("table name")
+        where = None
+        if ts.accept_keyword("where"):
+            where = self.parse_expression()
+        return A.Delete(table, where)
+
+    def _parse_drop(self):
+        ts = self.ts
+        ts.expect_keyword("drop")
+        if ts.accept_keyword("table"):
+            if_exists = self._parse_if_exists()
+            return A.DropTable(ts.expect_ident("table name"), if_exists)
+        if ts.accept_keyword("function"):
+            if_exists = self._parse_if_exists()
+            return A.DropFunction(ts.expect_ident("function name"), if_exists)
+        token = ts.peek()
+        raise ParseError(f"unsupported DROP at {token}", token.line, token.column)
+
+    def _parse_if_exists(self) -> bool:
+        if self.ts.accept_keyword("if"):
+            self.ts.expect_keyword("exists")
+            return True
+        return False
+
+
+def _is_distinct(left: A.Expr, right: A.Expr, negated: bool) -> A.Expr:
+    """Desugar IS [NOT] DISTINCT FROM into null-safe equality."""
+    both_null = A.BinaryOp("and", A.IsNull(left), A.IsNull(right))
+    equal = A.BinaryOp("and",
+                       A.BinaryOp("and", A.IsNull(left, True), A.IsNull(right, True)),
+                       A.BinaryOp("=", left, right))
+    not_distinct = A.BinaryOp("or", both_null, equal)
+    return not_distinct if negated else A.UnaryOp("not", not_distinct)
+
+
+# ---------------------------------------------------------------------------
+# Convenience entry points
+# ---------------------------------------------------------------------------
+
+
+def parse_statement(text: str) -> A.Statement:
+    parser = SqlParser(TokenStream.from_text(text))
+    statement = parser.parse_statement()
+    parser.ts.accept_op(";")
+    if not parser.ts.at_end():
+        token = parser.ts.peek()
+        raise ParseError(f"trailing input after statement: {token}",
+                         token.line, token.column)
+    return statement
+
+
+def parse_select(text: str) -> A.SelectStmt:
+    statement = parse_statement(text)
+    if not isinstance(statement, A.SelectStmt):
+        raise ParseError("expected a SELECT statement")
+    return statement
+
+
+def parse_expression(text: str) -> A.Expr:
+    parser = SqlParser(TokenStream.from_text(text))
+    expr = parser.parse_expression()
+    if not parser.ts.at_end():
+        token = parser.ts.peek()
+        raise ParseError(f"trailing input after expression: {token}",
+                         token.line, token.column)
+    return expr
+
+
+def parse_script(text: str) -> list[A.Statement]:
+    return SqlParser(TokenStream.from_text(text)).parse_script()

@@ -1,0 +1,855 @@
+"""The query planner: SQL AST -> immutable executable plan trees.
+
+Planning does all name resolution and expression compilation once; the
+resulting :class:`~repro.sql.executor.base.Plan` tree is immutable and can be
+cached by SQL text (see :mod:`repro.sql.engine`).  Execution then only pays
+*instantiation* (ExecutorStart) and *pulling* (ExecutorRun) — the cost split
+the paper's Table 1 measures.
+
+Highlights:
+
+* FROM clauses plan into shared-row-vector nested loops with LATERAL rebinds
+  (executor/fromtree.py),
+* ``WITH [RECURSIVE | ITERATE]`` splits each self-referencing CTE into base
+  and recursive terms (executor/recursion.py),
+* calls to *compiled* functions (the output of the paper's pipeline) are
+  inlined at plan time as correlated scalar subqueries — the "merge Qf into
+  Q" finalization step,
+* FROM subqueries whose alias lists more columns than the subquery produces
+  trigger the ROW-expansion extension used by the CTE template.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from . import ast as A
+from .astutil import contains_aggregate, contains_window_call, expr_equal
+from .errors import NameResolutionError, PlanError
+from .expr import ExprCompiler, Relation, Scope
+from .executor.base import Plan
+from .executor.fromtree import FromJoinPlan, FromLeafPlan, FromNodePlan
+from .executor.recursion import CteDef, CTEScanPlan, SelectStmtPlan
+from .executor.scan import OneRowPlan, RowExpandPlan, SeqScanPlan, ValuesPlan
+from .executor.select_core import (AggCallPlan, AggStagePlan, SelectCorePlan,
+                                   WindowStagePlan)
+from .executor.tuples import AppendPlan, LimitPlan, SetOpPlan, SortPlan
+from .executor.window import WindowCallPlan
+from .functions import is_aggregate_name, is_window_function_name
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Database
+
+
+class CteEnv:
+    """Plan-time chain of visible CTE definitions."""
+
+    def __init__(self, parent: Optional["CteEnv"] = None):
+        self.parent = parent
+        self.defs: dict[str, CteDef] = {}
+
+    def lookup(self, name: str) -> Optional[CteDef]:
+        node: Optional[CteEnv] = self
+        while node is not None:
+            found = node.defs.get(name.lower())
+            if found is not None:
+                return found
+            node = node.parent
+        return None
+
+
+class Planner:
+    """Plans SELECT statements against a database's catalog."""
+
+    def __init__(self, db: "Database"):
+        self.db = db
+        #: Inline compiled functions at call sites (the paper's default).
+        #: Disable to measure the cost of calling them like ordinary UDFs.
+        self.inline_compiled = True
+        self._cte_env: Optional[CteEnv] = None
+
+    @property
+    def catalog(self):
+        return self.db.catalog
+
+    # ------------------------------------------------------------------
+    # Statement level
+    # ------------------------------------------------------------------
+
+    def plan_select(self, stmt: A.SelectStmt,
+                    outer_scope: Optional[Scope] = None,
+                    cte_env: Optional[CteEnv] = None) -> Plan:
+        saved_env = self._cte_env
+        env = cte_env if cte_env is not None else self._cte_env
+        cte_defs: list[CteDef] = []
+        try:
+            if stmt.with_clause is not None:
+                env = CteEnv(parent=env)
+                for cte in stmt.with_clause.ctes:
+                    cte_def = self._plan_cte(cte, stmt.with_clause, env,
+                                             outer_scope)
+                    env.defs[cte.name.lower()] = cte_def
+                    cte_defs.append(cte_def)
+            self._cte_env = env
+            plan = self._plan_query_tail(stmt, outer_scope)
+        finally:
+            self._cte_env = saved_env
+        if cte_defs:
+            plan = SelectStmtPlan(cte_defs, plan)
+        return plan
+
+    def _plan_query_tail(self, stmt: A.SelectStmt,
+                         outer_scope: Optional[Scope]) -> Plan:
+        """Plan body + ORDER BY + LIMIT (CTE env already in effect)."""
+        body = stmt.body
+        if isinstance(body, A.SelectCore):
+            plan = self._plan_core(body, outer_scope, stmt.order_by)
+        else:
+            plan = self._plan_set_body(body, outer_scope)
+            if stmt.order_by:
+                plan = self._sort_set_output(plan, stmt.order_by)
+        if stmt.limit is not None or stmt.offset is not None:
+            compiler = ExprCompiler(Scope([], parent=outer_scope), self)
+            limit = compiler.compile(stmt.limit) if stmt.limit is not None else None
+            offset = (compiler.compile(stmt.offset)
+                      if stmt.offset is not None else None)
+            plan = LimitPlan(plan, limit, offset, compiler.subplans)
+        return plan
+
+    def _plan_set_body(self, body, outer_scope: Optional[Scope]) -> Plan:
+        if isinstance(body, A.SelectCore):
+            return self._plan_core(body, outer_scope, [])
+        if isinstance(body, A.ValuesClause):
+            return self._plan_values(body, outer_scope)
+        if isinstance(body, A.SetOp):
+            left = self._plan_set_body(body.left, outer_scope)
+            right = self._plan_set_body(body.right, outer_scope)
+            if left.width != right.width:
+                raise PlanError(
+                    f"set operation arms have different widths "
+                    f"({left.width} vs {right.width})")
+            if body.op == "union_all":
+                # Flatten chains of UNION ALL into one Append.
+                parts: list[Plan] = []
+                for part in (left, right):
+                    if isinstance(part, AppendPlan):
+                        parts.extend(part.parts)
+                    else:
+                        parts.append(part)
+                return AppendPlan(parts, left.output_columns)
+            return SetOpPlan(body.op, left, right, left.output_columns)
+        raise PlanError(f"unsupported select body {type(body).__name__}")
+
+    def _plan_values(self, values: A.ValuesClause,
+                     outer_scope: Optional[Scope]) -> Plan:
+        if not values.rows:
+            raise PlanError("VALUES requires at least one row")
+        width = len(values.rows[0])
+        for row in values.rows:
+            if len(row) != width:
+                raise PlanError("VALUES rows have varying widths")
+        compiler = ExprCompiler(Scope([], parent=outer_scope), self)
+        compiled = [[compiler.compile(cell) for cell in row]
+                    for row in values.rows]
+        columns = [f"column{i + 1}" for i in range(width)]
+        return ValuesPlan(compiled, columns, compiler.subplans)
+
+    def _sort_set_output(self, plan: Plan, order_by: list[A.SortItem]) -> Plan:
+        indices: list[int] = []
+        for item in order_by:
+            expr = item.expr
+            if isinstance(expr, A.Literal) and isinstance(expr.value, int) \
+                    and not isinstance(expr.value, bool):
+                position = expr.value
+                if not 1 <= position <= plan.width:
+                    raise PlanError(f"ORDER BY position {position} is out of range")
+                indices.append(position - 1)
+            elif isinstance(expr, A.ColumnRef) and len(expr.parts) == 1 \
+                    and expr.parts[0].lower() in [c.lower() for c in plan.output_columns]:
+                indices.append([c.lower() for c in plan.output_columns]
+                               .index(expr.parts[0].lower()))
+            else:
+                raise PlanError("ORDER BY over a set operation must reference "
+                                "output columns by name or position")
+        return SortPlan(plan, plan.output_columns, key_start=plan.width,
+                        descending=[i.descending for i in order_by],
+                        nulls_first=[i.nulls_first for i in order_by],
+                        strip=False, key_indices=indices)
+
+    # ------------------------------------------------------------------
+    # CTE planning
+    # ------------------------------------------------------------------
+
+    def _plan_cte(self, cte: A.CommonTableExpr, with_clause: A.WithClause,
+                  env: CteEnv, outer_scope: Optional[Scope]) -> CteDef:
+        name = cte.name.lower()
+        cte_def = CteDef(name, list(cte.column_names or []))
+        self_referencing = (with_clause.recursive
+                            and _references_table(cte.query, name))
+        if not self_referencing:
+            plan = self.plan_select(cte.query, outer_scope, cte_env=env)
+            cte_def.plan = plan
+            cte_def.columns = _apply_column_aliases(
+                cte.name, plan.output_columns, cte.column_names)
+            return cte_def
+
+        body = cte.query.body
+        if not isinstance(body, A.SetOp) or body.op not in ("union", "union_all"):
+            raise PlanError(
+                f"recursive CTE {cte.name!r} must be <base> UNION [ALL] "
+                "<recursive term>")
+        if cte.query.order_by or cte.query.limit is not None:
+            raise PlanError("ORDER BY / LIMIT on a recursive CTE body is not "
+                            "supported")
+        # Flatten the UNION [ALL] chain; terms referencing the CTE are
+        # recursive terms (we allow several — an extension over PostgreSQL's
+        # single-self-reference rule), the rest form the base.
+        op = body.op
+        terms = _flatten_union(body, op, cte.name)
+        base_terms = [t for t in terms
+                      if not _body_references_table(t, name)]
+        rec_terms = [t for t in terms if _body_references_table(t, name)]
+        if not base_terms:
+            raise PlanError(f"recursive CTE {cte.name!r} needs a base term "
+                            "without a self-reference")
+        cte_def.recursive = True
+        cte_def.union_all = op == "union_all"
+        cte_def.iterate = with_clause.iterate
+        # Base terms: planned without the self-binding in scope.
+        base_plans = [self.plan_select(A.SelectStmt(None, t), outer_scope,
+                                       cte_env=env) for t in base_terms]
+        cte_def.base_plan = (base_plans[0] if len(base_plans) == 1 else
+                             AppendPlan(base_plans,
+                                        base_plans[0].output_columns))
+        cte_def.columns = _apply_column_aliases(
+            cte.name, cte_def.base_plan.output_columns, cte.column_names)
+        # Recursive terms: planned with the self-binding visible.
+        rec_env = CteEnv(parent=env)
+        rec_env.defs[name] = cte_def
+        rec_plans = [self.plan_select(A.SelectStmt(None, t), outer_scope,
+                                      cte_env=rec_env) for t in rec_terms]
+        cte_def.rec_plan = (rec_plans[0] if len(rec_plans) == 1 else
+                            AppendPlan(rec_plans, rec_plans[0].output_columns))
+        for plan in base_plans + rec_plans:
+            if plan.width != cte_def.base_plan.width:
+                raise PlanError(
+                    f"recursive CTE {cte.name!r}: union terms have "
+                    "differing column counts")
+        return cte_def
+
+    # ------------------------------------------------------------------
+    # SELECT core planning
+    # ------------------------------------------------------------------
+
+    def _plan_core(self, core: A.SelectCore, outer_scope: Optional[Scope],
+                   order_by: list[A.SortItem]) -> Plan:
+        relations: list[Relation] = []
+        from_plan: Optional[FromNodePlan] = None
+        if core.from_clause is not None:
+            from_plan = self._plan_from(core.from_clause, relations, outer_scope)
+        scope = Scope(relations, parent=outer_scope)
+
+        # Index pushdown: correlated equality predicates on a single base
+        # table become hash-index probes (see IndexScanPlan).
+        residual_where = core.where
+        if (core.where is not None and isinstance(from_plan, FromLeafPlan)
+                and isinstance(from_plan.source, SeqScanPlan)
+                and not from_plan.lateral):
+            from_plan, residual_where = self._try_index_pushdown(
+                core.where, from_plan, scope)
+
+        # WHERE --------------------------------------------------------
+        where_compiler = ExprCompiler(scope, self)
+        where = (where_compiler.compile(residual_where)
+                 if residual_where is not None else None)
+
+        # Select items: expand stars, derive output names ----------------
+        items: list[A.SelectItem] = []
+        for item in core.items:
+            if isinstance(item, A.Star):
+                items.extend(self._expand_star(item, relations))
+            else:
+                items.append(item)
+        if not items:
+            raise PlanError("SELECT list is empty")
+        output_columns = [_derive_name(item) for item in items]
+        item_exprs = [item.expr for item in items]
+        having = core.having
+
+        # Aggregation ----------------------------------------------------
+        agg_stage: Optional[AggStagePlan] = None
+        agg_rewrite = None
+        current_scope = scope
+        needs_agg = bool(core.group_by) or having is not None \
+            or any(contains_aggregate(e) for e in item_exprs)
+        if needs_agg:
+            (agg_stage, item_exprs, having, current_scope,
+             agg_rewrite) = self._plan_aggregation(
+                core, scope, outer_scope, item_exprs, having)
+        elif having is not None:
+            raise PlanError("HAVING requires aggregation")
+
+        # Window functions -----------------------------------------------
+        window_stage: Optional[WindowStagePlan] = None
+        if any(contains_window_call(e) for e in item_exprs):
+            window_stage, item_exprs, current_scope = self._plan_windows(
+                core, current_scope, outer_scope, item_exprs, agg_rewrite)
+
+        # Final projection (+ hidden ORDER BY keys) -----------------------
+        project_compiler = ExprCompiler(current_scope, self)
+        project_exprs = [project_compiler.compile(e) for e in item_exprs]
+        hidden = self._compile_order_keys(order_by, items, project_exprs,
+                                          project_compiler, core.distinct)
+        plan: Plan = SelectCorePlan(
+            output_columns=output_columns,
+            n_relations=len(relations),
+            from_plan=from_plan,
+            where=where,
+            where_subplans=where_compiler.subplans,
+            agg_stage=agg_stage,
+            window_stage=window_stage,
+            project_exprs=project_exprs + hidden,
+            project_subplans=project_compiler.subplans,
+            distinct=core.distinct and not hidden,
+        )
+        if hidden:
+            # DISTINCT with hidden keys was rejected in _compile_order_keys,
+            # so stripping the keys after the sort is always safe here.
+            plan.output_columns = output_columns + [f"__sort{i}"
+                                                    for i in range(len(hidden))]
+            plan = SortPlan(plan, output_columns, key_start=len(items),
+                            descending=[i.descending for i in order_by],
+                            nulls_first=[i.nulls_first for i in order_by],
+                            strip=True)
+        elif order_by:
+            plan = SortPlan(plan, output_columns, key_start=len(items),
+                            descending=[i.descending for i in order_by],
+                            nulls_first=[i.nulls_first for i in order_by],
+                            strip=False,
+                            key_indices=self._positional_keys(order_by, items))
+        return plan
+
+    def _positional_keys(self, order_by, items) -> list[int]:
+        # Only reached when _compile_order_keys produced no hidden keys,
+        # i.e. every sort item is positional or an alias.
+        indices = []
+        aliases = [(_derive_name(i) or "").lower() for i in items]
+        for sort_item in order_by:
+            expr = sort_item.expr
+            if isinstance(expr, A.Literal) and isinstance(expr.value, int):
+                indices.append(expr.value - 1)
+            else:
+                assert isinstance(expr, A.ColumnRef)
+                indices.append(aliases.index(expr.parts[0].lower()))
+        return indices
+
+    def _compile_order_keys(self, order_by, items, project_exprs,
+                            compiler: ExprCompiler, distinct: bool):
+        """Compile ORDER BY keys; return hidden key closures (may be [])."""
+        if not order_by:
+            return []
+        aliases = [(_derive_name(i) or "").lower() for i in items]
+        all_positional = True
+        for sort_item in order_by:
+            expr = sort_item.expr
+            if isinstance(expr, A.Literal) and isinstance(expr.value, int) \
+                    and not isinstance(expr.value, bool):
+                if not 1 <= expr.value <= len(items):
+                    raise PlanError(f"ORDER BY position {expr.value} is out of range")
+                continue
+            if isinstance(expr, A.ColumnRef) and len(expr.parts) == 1 \
+                    and expr.parts[0].lower() in aliases:
+                continue
+            all_positional = False
+        if all_positional:
+            return []
+        if distinct:
+            raise PlanError("for SELECT DISTINCT, ORDER BY expressions must "
+                            "appear in the select list")
+        hidden = []
+        for sort_item in order_by:
+            expr = sort_item.expr
+            if isinstance(expr, A.Literal) and isinstance(expr.value, int) \
+                    and not isinstance(expr.value, bool):
+                hidden.append(project_exprs[expr.value - 1])
+            elif isinstance(expr, A.ColumnRef) and len(expr.parts) == 1 \
+                    and expr.parts[0].lower() in aliases:
+                hidden.append(project_exprs[aliases.index(expr.parts[0].lower())])
+            else:
+                hidden.append(compiler.compile(expr))
+        return hidden
+
+    # ------------------------------------------------------------------
+    # FROM planning
+    # ------------------------------------------------------------------
+
+    def _plan_from(self, ref: A.TableRef, relations: list[Relation],
+                   outer_scope: Optional[Scope]) -> FromNodePlan:
+        if isinstance(ref, A.TableName):
+            return self._plan_from_table(ref, relations)
+        if isinstance(ref, A.SubqueryRef):
+            return self._plan_from_subquery(ref, relations, outer_scope)
+        if isinstance(ref, A.Join):
+            left = self._plan_from(ref.left, relations, outer_scope)
+            right = self._plan_from(ref.right, relations, outer_scope)
+            condition = None
+            compiler = ExprCompiler(Scope(list(relations), parent=outer_scope),
+                                    self)
+            if ref.condition is not None:
+                if ref.kind == "cross":
+                    raise PlanError("CROSS JOIN cannot have an ON condition")
+                if not (isinstance(ref.condition, A.Literal)
+                        and ref.condition.value is True):
+                    condition = compiler.compile(ref.condition)
+            elif ref.kind in ("inner", "left"):
+                raise PlanError(f"{ref.kind.upper()} JOIN requires ON")
+            return FromJoinPlan(ref.kind, left, right, condition,
+                                compiler.subplans)
+        raise PlanError(f"unsupported FROM item {type(ref).__name__}")
+
+    def _plan_from_table(self, ref: A.TableName,
+                         relations: list[Relation]) -> FromLeafPlan:
+        name = ref.name.lower()
+        alias = (ref.alias or ref.name).lower()
+        self._check_duplicate_alias(alias, relations)
+        cte_def = self._cte_env.lookup(name) if self._cte_env else None
+        if cte_def is not None:
+            columns = list(cte_def.columns)
+            source: Plan = CTEScanPlan(cte_def, columns)
+        else:
+            table = self.catalog.tables.get(name)
+            if table is None:
+                raise NameResolutionError(f"unknown table {ref.name!r}")
+            columns = list(table.column_names)
+            source = SeqScanPlan(name, columns)
+        if ref.column_aliases:
+            if len(ref.column_aliases) != len(columns):
+                raise PlanError(
+                    f"alias list for {alias!r} has {len(ref.column_aliases)} "
+                    f"columns, relation has {len(columns)}")
+            columns = [c.lower() for c in ref.column_aliases]
+            source.output_columns = columns
+        rel_index = len(relations)
+        relations.append(Relation(alias, columns))
+        return FromLeafPlan(rel_index, len(columns), source, lateral=False)
+
+    def _plan_from_subquery(self, ref: A.SubqueryRef, relations: list[Relation],
+                            outer_scope: Optional[Scope]) -> FromLeafPlan:
+        alias = ref.alias.lower()
+        self._check_duplicate_alias(alias, relations)
+        if ref.lateral:
+            # Lateral sees the FROM items planned so far as its outer scope.
+            sub_outer: Optional[Scope] = Scope(list(relations),
+                                               parent=outer_scope)
+        else:
+            sub_outer = outer_scope
+        subplan = self.plan_select(ref.query, outer_scope=sub_outer)
+        columns = list(subplan.output_columns)
+        if ref.column_aliases:
+            aliases = [c.lower() for c in ref.column_aliases]
+            if len(aliases) == len(columns):
+                columns = aliases
+            elif len(columns) == 1 and len(aliases) > 1:
+                # Engine extension: expand single ROW-valued column (the CTE
+                # template's LATERAL (body) AS iter("call?", args, result)).
+                subplan = RowExpandPlan(subplan, aliases)
+                columns = aliases
+            else:
+                raise PlanError(
+                    f"alias list for {alias!r} has {len(aliases)} columns, "
+                    f"subquery produces {len(columns)}")
+        rel_index = len(relations)
+        relations.append(Relation(alias, columns))
+        return FromLeafPlan(rel_index, len(columns), subplan, ref.lateral)
+
+    # ------------------------------------------------------------------
+    # Index pushdown
+    # ------------------------------------------------------------------
+
+    def _try_index_pushdown(self, where: A.Expr, leaf: FromLeafPlan,
+                            scope: Scope):
+        """Turn ``col = expr`` conjuncts into a hash-index scan when *expr*
+        provably never references the scanned relation.  Returns the
+        (possibly new) leaf plan and the residual WHERE expression."""
+        from .executor.scan import IndexScanPlan
+
+        source = leaf.source
+        assert isinstance(source, SeqScanPlan)
+        conjuncts = _split_and(where)
+        key_columns: list[int] = []
+        key_exprs = []
+        residual: list[A.Expr] = []
+        compiler = ExprCompiler(scope, self)
+        for conjunct in conjuncts:
+            pushed = False
+            if isinstance(conjunct, A.BinaryOp) and conjunct.op == "=":
+                for column_side, value_side in ((conjunct.left, conjunct.right),
+                                                (conjunct.right, conjunct.left)):
+                    column = self._leaf_column(column_side, scope)
+                    if column is None or column in key_columns:
+                        continue
+                    hits: list = []
+                    scope.observer = lambda rel, col: hits.append((rel, col))
+                    try:
+                        compiled = compiler.compile(value_side)
+                    except NameResolutionError:
+                        continue
+                    finally:
+                        scope.observer = None
+                    if hits:
+                        continue  # value expression touches the relation
+                    key_columns.append(column)
+                    key_exprs.append(compiled)
+                    pushed = True
+                    break
+            if not pushed:
+                residual.append(conjunct)
+        if not key_columns:
+            return leaf, where
+        index_plan = IndexScanPlan(source.table_name, source.output_columns,
+                                   key_columns, key_exprs, compiler.subplans)
+        new_leaf = FromLeafPlan(leaf.rel_index, len(source.output_columns),
+                                index_plan, lateral=False)
+        remaining: Optional[A.Expr] = None
+        for conjunct in residual:
+            remaining = conjunct if remaining is None \
+                else A.BinaryOp("and", remaining, conjunct)
+        return new_leaf, remaining
+
+    @staticmethod
+    def _leaf_column(expr: A.Expr, scope: Scope) -> Optional[int]:
+        """Column index when *expr* is a direct reference to relation 0 of
+        *scope* (no composite field tail), else None."""
+        if not isinstance(expr, A.ColumnRef):
+            return None
+        try:
+            level, rel_index, col_index, fields = scope.resolve(expr.parts)
+        except NameResolutionError:
+            return None
+        if level == 0 and rel_index == 0 and not fields:
+            return col_index
+        return None
+
+    @staticmethod
+    def _check_duplicate_alias(alias: str, relations: list[Relation]) -> None:
+        if any(rel.alias == alias for rel in relations):
+            raise PlanError(f"table alias {alias!r} used more than once")
+
+    def _expand_star(self, star: A.Star,
+                     relations: list[Relation]) -> list[A.SelectItem]:
+        out: list[A.SelectItem] = []
+        wanted = star.table.lower() if star.table else None
+        matched = False
+        for rel in relations:
+            if wanted is not None and rel.alias != wanted:
+                continue
+            matched = True
+            for column in rel.columns:
+                out.append(A.SelectItem(A.ColumnRef((rel.alias, column)),
+                                        alias=column))
+        if wanted is not None and not matched:
+            raise NameResolutionError(f"unknown relation {star.table!r} in "
+                                      f"{star.table}.*")
+        if wanted is None and not relations:
+            raise PlanError("SELECT * requires a FROM clause")
+        return out
+
+    # ------------------------------------------------------------------
+    # Aggregation planning
+    # ------------------------------------------------------------------
+
+    def _plan_aggregation(self, core: A.SelectCore, scope: Scope,
+                          outer_scope: Optional[Scope],
+                          item_exprs: list[A.Expr], having: Optional[A.Expr]):
+        pre_compiler = ExprCompiler(scope, self)
+        group_keys = [pre_compiler.compile(e) for e in core.group_by]
+        agg_calls: list[AggCallPlan] = []
+
+        key_names = [f"__key{i}" for i in range(len(core.group_by))]
+        agg_rel_columns = list(key_names)
+
+        def rewrite(expr: A.Expr) -> A.Expr:
+            for key_index, key_expr in enumerate(core.group_by):
+                if expr_equal(expr, key_expr):
+                    return A.ColumnRef(("__agg", key_names[key_index]))
+            if isinstance(expr, A.FuncCall) and expr.window is None \
+                    and is_aggregate_name(expr.name):
+                agg_index = len(agg_calls)
+                agg_calls.append(self._make_agg_call(expr, pre_compiler))
+                column = f"__agg{agg_index}"
+                agg_rel_columns.append(column)
+                return A.ColumnRef(("__agg", column))
+            return _rewrite_children(expr, rewrite)
+
+        rewritten_items = [rewrite(e) for e in item_exprs]
+        rewritten_having = rewrite(having) if having is not None else None
+
+        post_scope = Scope([Relation("__agg", agg_rel_columns)],
+                           parent=outer_scope)
+        having_compiler = ExprCompiler(post_scope, self)
+        having_fn = (having_compiler.compile(rewritten_having)
+                     if rewritten_having is not None else None)
+        stage = AggStagePlan(group_keys, agg_calls, having_fn,
+                             pre_compiler.subplans, having_compiler.subplans)
+        return stage, rewritten_items, None, post_scope, rewrite
+
+    def _make_agg_call(self, call: A.FuncCall,
+                       compiler: ExprCompiler) -> AggCallPlan:
+        name = call.name.lower()
+        separator = ""
+        args = list(call.args)
+        if name == "string_agg":
+            if len(args) != 2 or not isinstance(args[1], A.Literal):
+                raise PlanError("string_agg requires (value, constant separator)")
+            separator = str(args[1].value)
+            args = args[:1]
+        if call.star:
+            return AggCallPlan(name, True, None, call.distinct, separator)
+        if len(args) != 1:
+            raise PlanError(f"aggregate {name}() takes exactly one argument")
+        if contains_aggregate(args[0]):
+            raise PlanError("aggregate calls cannot be nested")
+        return AggCallPlan(name, False, compiler.compile(args[0]),
+                           call.distinct, separator)
+
+    # ------------------------------------------------------------------
+    # Window planning
+    # ------------------------------------------------------------------
+
+    def _plan_windows(self, core: A.SelectCore, scope: Scope,
+                      outer_scope: Optional[Scope], item_exprs: list[A.Expr],
+                      agg_rewrite=None):
+        compiler = ExprCompiler(scope, self)
+        calls: list[WindowCallPlan] = []
+        columns: list[str] = []
+
+        def rewrite(expr: A.Expr) -> A.Expr:
+            if isinstance(expr, A.FuncCall) and expr.window is not None:
+                index = len(calls)
+                calls.append(self._make_window_call(expr, core, compiler,
+                                                    agg_rewrite))
+                column = f"__w{index}"
+                columns.append(column)
+                return A.ColumnRef(("__win", column))
+            return _rewrite_children(expr, rewrite)
+
+        rewritten = [rewrite(e) for e in item_exprs]
+        post_scope = Scope(scope.relations + [Relation("__win", columns)],
+                           parent=outer_scope)
+        return WindowStagePlan(calls, compiler.subplans), rewritten, post_scope
+
+    def _make_window_call(self, call: A.FuncCall, core: A.SelectCore,
+                          compiler: ExprCompiler,
+                          agg_rewrite=None) -> WindowCallPlan:
+        name = call.name.lower()
+        if not (is_aggregate_name(name) or is_window_function_name(name)):
+            raise PlanError(f"{name}() is not a window function or aggregate")
+        spec = self._resolve_window_spec(call.window, core)
+        if agg_rewrite is not None:
+            # Grouped query: the spec's PARTITION BY / ORDER BY expressions
+            # reference pre-aggregation columns; map them to the __agg
+            # relation exactly like the select list was mapped.
+            spec = A.WindowSpec(
+                ref_name=None,
+                partition_by=[agg_rewrite(e) for e in spec.partition_by],
+                order_by=[A.SortItem(agg_rewrite(s.expr), s.descending,
+                                     s.nulls_first) for s in spec.order_by],
+                frame=spec.frame)
+        separator = ""
+        args = list(call.args)
+        if name == "string_agg":
+            if len(args) != 2 or not isinstance(args[1], A.Literal):
+                raise PlanError("string_agg requires (value, constant separator)")
+            separator = str(args[1].value)
+            args = args[:1]
+        frame = spec.frame
+        frame_compiled = None
+        if frame is not None:
+            start = A.FrameBound(frame.start.kind,
+                                 compiler.compile(frame.start.offset)
+                                 if frame.start.offset is not None else None)
+            end = A.FrameBound(frame.end.kind,
+                               compiler.compile(frame.end.offset)
+                               if frame.end.offset is not None else None)
+            frame_compiled = A.FrameSpec(frame.mode, start, end, frame.exclusion)
+        return WindowCallPlan(
+            func_name=name,
+            args=[compiler.compile(a) for a in args],
+            star=call.star,
+            partition_by=[compiler.compile(e) for e in spec.partition_by],
+            order_by=[compiler.compile(s.expr) for s in spec.order_by],
+            order_desc=[s.descending for s in spec.order_by],
+            frame=frame_compiled,
+            separator=separator,
+        )
+
+    def _resolve_window_spec(self, window, core: A.SelectCore) -> A.WindowSpec:
+        if isinstance(window, str):
+            spec = core.windows.get(window.lower())
+            if spec is None:
+                raise PlanError(f"unknown window {window!r}")
+            return self._resolve_window_spec(spec, core)
+        assert isinstance(window, A.WindowSpec)
+        if window.ref_name is None:
+            return window
+        base = core.windows.get(window.ref_name.lower())
+        if base is None:
+            raise PlanError(f"unknown window {window.ref_name!r}")
+        base = self._resolve_window_spec(base, core)
+        if window.partition_by:
+            raise PlanError("cannot override PARTITION BY of a named window")
+        if window.order_by and base.order_by:
+            raise PlanError("cannot override ORDER BY of a named window")
+        return A.WindowSpec(
+            ref_name=None,
+            partition_by=base.partition_by,
+            order_by=window.order_by or base.order_by,
+            frame=window.frame if window.frame is not None else base.frame,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def _flatten_union(body, op: str, cte_name: str) -> list:
+    """Flatten a chain of set operations of one kind into its terms."""
+    if isinstance(body, A.SetOp):
+        if body.op != op:
+            raise PlanError(
+                f"recursive CTE {cte_name!r} mixes UNION and UNION ALL")
+        return (_flatten_union(body.left, op, cte_name)
+                + _flatten_union(body.right, op, cte_name))
+    return [body]
+
+
+def _split_and(expr: A.Expr) -> list[A.Expr]:
+    """Flatten a conjunction into its top-level conjuncts."""
+    if isinstance(expr, A.BinaryOp) and expr.op == "and":
+        return _split_and(expr.left) + _split_and(expr.right)
+    return [expr]
+
+
+def _apply_column_aliases(cte_name: str, derived: list[str],
+                          aliases: Optional[list[str]]) -> list[str]:
+    if aliases is None:
+        return list(derived)
+    if len(aliases) != len(derived):
+        raise PlanError(
+            f"CTE {cte_name!r} declares {len(aliases)} columns but its query "
+            f"produces {len(derived)}")
+    return [a.lower() for a in aliases]
+
+
+def _derive_name(item: A.SelectItem) -> str:
+    if item.alias:
+        return item.alias.lower()
+    expr = item.expr
+    if isinstance(expr, A.ColumnRef):
+        return expr.parts[-1].lower()
+    if isinstance(expr, A.FuncCall):
+        return expr.name.lower()
+    if isinstance(expr, A.Cast):
+        inner = _derive_name(A.SelectItem(expr.operand))
+        return inner if inner != "?column?" else expr.type_name.lower()
+    if isinstance(expr, A.FieldAccess):
+        return expr.fieldname.lower()
+    if isinstance(expr, A.CaseExpr):
+        return "case"
+    return "?column?"
+
+
+def _rewrite_children(expr: A.Expr, fn) -> A.Expr:
+    """Shallow rebuild applying *fn* to each direct child expression."""
+    import dataclasses
+
+    changes = {}
+    for fld in dataclasses.fields(expr):  # type: ignore[arg-type]
+        value = getattr(expr, fld.name)
+        if isinstance(value, A.Expr):
+            new = fn(value)
+            if new is not value:
+                changes[fld.name] = new
+        elif isinstance(value, list) and value:
+            new_list = []
+            dirty = False
+            for element in value:
+                if isinstance(element, A.Expr):
+                    new_element = fn(element)
+                elif isinstance(element, tuple) and any(
+                        isinstance(p, A.Expr) for p in element):
+                    new_element = tuple(fn(p) if isinstance(p, A.Expr) else p
+                                        for p in element)
+                else:
+                    new_element = element
+                dirty = dirty or new_element is not element
+                new_list.append(new_element)
+            if dirty:
+                changes[fld.name] = new_list
+    if not changes:
+        return expr
+    return dataclasses.replace(expr, **changes)  # type: ignore[type-var]
+
+
+def _references_table(stmt: A.SelectStmt, name: str) -> bool:
+    """Does *stmt* (recursively) scan a table/CTE called *name*?"""
+    found = False
+
+    def visit_body(body) -> None:
+        nonlocal found
+        if found:
+            return
+        if isinstance(body, A.SetOp):
+            visit_body(body.left)
+            visit_body(body.right)
+            return
+        if isinstance(body, A.ValuesClause):
+            return
+        visit_table(body.from_clause)
+        for item in body.items:
+            if isinstance(item, A.SelectItem):
+                visit_expr(item.expr)
+        if body.where is not None:
+            visit_expr(body.where)
+
+    def visit_table(ref) -> None:
+        nonlocal found
+        if ref is None or found:
+            return
+        if isinstance(ref, A.TableName):
+            if ref.name.lower() == name:
+                found = True
+        elif isinstance(ref, A.SubqueryRef):
+            visit_stmt(ref.query)
+        elif isinstance(ref, A.Join):
+            visit_table(ref.left)
+            visit_table(ref.right)
+
+    def visit_expr(expr: A.Expr) -> None:
+        nonlocal found
+        if found:
+            return
+        from .astutil import walk_expr
+        for node in walk_expr(expr):
+            if isinstance(node, (A.ScalarSubquery, A.Exists)):
+                visit_stmt(node.query if isinstance(node, A.ScalarSubquery)
+                           else node.subquery)
+            elif isinstance(node, A.InSubquery):
+                visit_stmt(node.subquery)
+
+    def visit_stmt(stmt_: A.SelectStmt) -> None:
+        if stmt_.with_clause is not None:
+            for cte in stmt_.with_clause.ctes:
+                if cte.name.lower() == name:
+                    # Shadowed inside; still conservative: treat as reference.
+                    pass
+                visit_stmt(cte.query)
+        visit_body(stmt_.body)
+
+    visit_stmt(stmt)
+    return found
+
+
+def _body_references_table(body, name: str) -> bool:
+    return _references_table(A.SelectStmt(None, body), name)

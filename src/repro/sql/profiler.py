@@ -1,0 +1,117 @@
+"""Exclusive-time phase profiler reproducing the paper's cost taxonomy.
+
+The paper attributes PL/SQL evaluation time to four buckets (Table 1):
+
+* ``ExecutorStart`` — plan instantiation (copying the cached plan into a
+  runtime structure, binding placeholders),
+* ``ExecutorRun``   — productive query evaluation,
+* ``ExecutorEnd``   — plan teardown / freeing memory contexts,
+* ``Interp``        — PL/SQL statement interpretation proper.
+
+Phases nest (the interpreter runs embedded queries, which run subplans);
+:class:`Profiler` therefore keeps a phase *stack* and attributes wall-clock
+time exclusively to the innermost active phase, so the buckets sum to total
+measured time without double counting.
+
+Counters track discrete events: ``Q->f`` context switches (SQL calling a
+PL/SQL function), ``f->Q`` switches (the function evaluating an embedded
+query), plan-cache hits and misses.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+
+#: Phase names used throughout the engine.
+PARSE = "Parse"
+PLAN = "Plan"
+EXEC_START = "ExecutorStart"
+EXEC_RUN = "ExecutorRun"
+EXEC_END = "ExecutorEnd"
+INTERP = "Interp"
+
+PHASES = (PARSE, PLAN, EXEC_START, EXEC_RUN, EXEC_END, INTERP)
+
+#: Counter names.
+SWITCH_Q_TO_F = "switch Q->f"
+SWITCH_F_TO_Q = "switch f->Q"
+PLAN_CACHE_HIT = "plan cache hit"
+PLAN_CACHE_MISS = "plan cache miss"
+PLAN_INSTANTIATIONS = "plan instantiations"
+
+
+class Profiler:
+    """Stack-based exclusive phase timer plus event counters."""
+
+    __slots__ = ("enabled", "times", "counts", "_stack")
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.times: dict[str, float] = defaultdict(float)
+        self.counts: dict[str, int] = defaultdict(int)
+        self._stack: list[list] = []  # [name, last_mark]
+
+    # -- timing --------------------------------------------------------
+
+    def push(self, name: str) -> None:
+        if not self.enabled:
+            return
+        now = time.perf_counter()
+        if self._stack:
+            top = self._stack[-1]
+            self.times[top[0]] += now - top[1]
+        self._stack.append([name, now])
+
+    def pop(self) -> None:
+        if not self.enabled:
+            return
+        now = time.perf_counter()
+        top = self._stack.pop()
+        self.times[top[0]] += now - top[1]
+        if self._stack:
+            self._stack[-1][1] = now
+
+    @contextmanager
+    def phase(self, name: str):
+        self.push(name)
+        try:
+            yield
+        finally:
+            self.pop()
+
+    # -- counters --------------------------------------------------------
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        if self.enabled:
+            self.counts[counter] += amount
+
+    # -- reporting --------------------------------------------------------
+
+    def reset(self) -> None:
+        self.times.clear()
+        self.counts.clear()
+        self._stack.clear()
+
+    def total_time(self) -> float:
+        return sum(self.times.values())
+
+    def percentages(self, phases=PHASES) -> dict[str, float]:
+        """Share of total profiled time per phase, in percent."""
+        total = self.total_time()
+        if total <= 0:
+            return {name: 0.0 for name in phases}
+        return {name: 100.0 * self.times.get(name, 0.0) / total
+                for name in phases}
+
+    def report(self) -> str:
+        lines = ["phase             time[s]    share"]
+        total = self.total_time()
+        for name in PHASES:
+            seconds = self.times.get(name, 0.0)
+            share = 100.0 * seconds / total if total else 0.0
+            lines.append(f"{name:<16} {seconds:9.4f}  {share:6.2f}%")
+        for counter in sorted(self.counts):
+            lines.append(f"{counter:<28} {self.counts[counter]:>10}")
+        return "\n".join(lines)

@@ -1,0 +1,281 @@
+"""The SQL value domain and its three-valued-logic operations.
+
+Values are represented by plain Python objects:
+
+========  ==============================
+SQL       Python
+========  ==============================
+NULL      ``None``
+boolean   ``bool``
+int       ``int``
+float     ``float``
+text      ``str``
+array     ``list``
+row       :class:`Row`
+========  ==============================
+
+All comparison helpers in this module implement SQL semantics: any comparison
+involving NULL yields NULL (``None``), and the boolean connectives follow
+Kleene three-valued logic.  :func:`sort_key` provides a total order used by
+ORDER BY / window frames, where NULL sorts last (PostgreSQL's default of
+``NULLS LAST`` for ascending order).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from .errors import ExecutionError, TypeError_
+
+Value = Any  # NULL | bool | int | float | str | list | Row
+
+
+class Row:
+    """A composite (record) value, e.g. the paper's ``coord`` type.
+
+    A row holds an ordered tuple of field values and, optionally, the field
+    names of its declared composite type.  Rows compare field-by-field, which
+    is what makes predicates such as ``location = p.loc`` in the paper's
+    ``walk()`` function work.
+    """
+
+    __slots__ = ("values", "names", "type_name")
+
+    def __init__(self, values: Sequence[Value], names: Sequence[str] | None = None,
+                 type_name: str | None = None):
+        self.values = tuple(values)
+        self.names = tuple(names) if names is not None else None
+        self.type_name = type_name
+        if self.names is not None and len(self.names) != len(self.values):
+            raise TypeError_(
+                f"row has {len(self.values)} fields but {len(self.names)} names")
+
+    def field(self, name: str) -> Value:
+        """Return the value of field *name* (case-insensitive)."""
+        if self.names is None:
+            raise ExecutionError(f"row value has no named fields (wanted {name!r})")
+        lowered = name.lower()
+        for field_name, value in zip(self.names, self.values):
+            if field_name.lower() == lowered:
+                return value
+        raise ExecutionError(f"row value has no field {name!r}; has {self.names}")
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self):
+        return iter(self.values)
+
+    def __getitem__(self, index: int) -> Value:
+        return self.values[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Row):
+            return NotImplemented
+        return self.values == other.values
+
+    def __hash__(self) -> int:
+        return hash(self.values)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(v) for v in self.values)
+        return f"({inner})"
+
+
+def is_null(value: Value) -> bool:
+    """True when *value* is SQL NULL."""
+    return value is None
+
+
+def _comparable(a: Value, b: Value) -> None:
+    """Raise unless *a* and *b* belong to mutually comparable SQL types."""
+    numeric = (int, float)
+    if isinstance(a, bool) != isinstance(b, bool):
+        # bool is an int subclass in Python; keep booleans apart from numbers.
+        raise TypeError_(f"cannot compare {type(a).__name__} with {type(b).__name__}")
+    if isinstance(a, numeric) and isinstance(b, numeric):
+        return
+    if type(a) is type(b):
+        return
+    if isinstance(a, Row) and isinstance(b, Row):
+        return
+    raise TypeError_(f"cannot compare {type(a).__name__} with {type(b).__name__}")
+
+
+def compare(a: Value, b: Value) -> int | None:
+    """Three-valued comparison: -1 / 0 / +1, or None when either side is NULL.
+
+    Rows compare lexicographically field by field; a NULL field makes the
+    whole comparison NULL unless an earlier field already decided it.
+    """
+    if a is None or b is None:
+        return None
+    if isinstance(a, Row) and isinstance(b, Row):
+        if len(a) != len(b):
+            raise TypeError_("cannot compare rows of different arity")
+        for fa, fb in zip(a, b):
+            part = compare(fa, fb)
+            if part is None:
+                return None
+            if part != 0:
+                return part
+        return 0
+    if isinstance(a, list) and isinstance(b, list):
+        for fa, fb in zip(a, b):
+            part = compare(fa, fb)
+            if part is None:
+                return None
+            if part != 0:
+                return part
+        return (len(a) > len(b)) - (len(a) < len(b))
+    _comparable(a, b)
+    if a < b:
+        return -1
+    if a > b:
+        return 1
+    return 0
+
+
+def sql_eq(a: Value, b: Value) -> bool | None:
+    c = compare(a, b)
+    return None if c is None else c == 0
+
+
+def sql_ne(a: Value, b: Value) -> bool | None:
+    c = compare(a, b)
+    return None if c is None else c != 0
+
+
+def sql_lt(a: Value, b: Value) -> bool | None:
+    c = compare(a, b)
+    return None if c is None else c < 0
+
+
+def sql_le(a: Value, b: Value) -> bool | None:
+    c = compare(a, b)
+    return None if c is None else c <= 0
+
+
+def sql_gt(a: Value, b: Value) -> bool | None:
+    c = compare(a, b)
+    return None if c is None else c > 0
+
+
+def sql_ge(a: Value, b: Value) -> bool | None:
+    c = compare(a, b)
+    return None if c is None else c >= 0
+
+
+def sql_and(a: bool | None, b: bool | None) -> bool | None:
+    """Kleene AND: false dominates NULL."""
+    if a is False or b is False:
+        return False
+    if a is None or b is None:
+        return None
+    return True
+
+
+def sql_or(a: bool | None, b: bool | None) -> bool | None:
+    """Kleene OR: true dominates NULL."""
+    if a is True or b is True:
+        return True
+    if a is None or b is None:
+        return None
+    return False
+
+
+def sql_not(a: bool | None) -> bool | None:
+    return None if a is None else not a
+
+
+_SORT_RANK = {bool: 0, int: 1, float: 1, str: 2, list: 3, Row: 4}
+
+
+def sort_key(value: Value):
+    """A total-order key: NULLs sort last, then by value within a type."""
+    if value is None:
+        return (1, 0, 0)
+    if isinstance(value, Row):
+        return (0, 4, tuple(sort_key(v) for v in value))
+    if isinstance(value, list):
+        return (0, 3, tuple(sort_key(v) for v in value))
+    if isinstance(value, bool):
+        return (0, 0, value)
+    return (0, _SORT_RANK[type(value)], value)
+
+
+def row_sort_key(values: Iterable[Value], descending: Sequence[bool]):
+    """Sort key for a tuple of ORDER BY expressions with per-key direction.
+
+    Descending keys are realised by wrapping in :class:`_Reversed`; NULLs keep
+    sorting last for ascending keys and first for descending keys, matching
+    PostgreSQL defaults.
+    """
+    out = []
+    for value, desc in zip(values, descending):
+        key = sort_key(value)
+        out.append(_Reversed(key) if desc else key)
+    return tuple(out)
+
+
+class _Reversed:
+    """Wrapper inverting the order of an arbitrary key (for DESC sorts)."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key):
+        self.key = key
+
+    def __lt__(self, other: "_Reversed") -> bool:
+        return other.key < self.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Reversed) and other.key == self.key
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+
+def value_byte_size(value: Value) -> int:
+    """Approximate on-disk size of a value, PostgreSQL-flavoured.
+
+    Used by the buffer-page model behind Table 2.  Sizes follow PostgreSQL's
+    storage: 1 byte for bool, 8 for ints/floats (we store bigint/double
+    precision), ``1 + len`` for short text (varlena header), 4 bytes per NULL
+    bitmap entry approximated as 0 here (the per-row header is charged by the
+    storage layer, not per value).
+    """
+    if value is None:
+        return 0
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return 8
+    if isinstance(value, float):
+        return 8
+    if isinstance(value, str):
+        # Char count approximates byte count (exact for ASCII); computing
+        # the true UTF-8 length would make accounting O(len) per append.
+        return 1 + len(value)
+    if isinstance(value, list):
+        return 24 + sum(value_byte_size(v) for v in value)
+    if isinstance(value, Row):
+        return 24 + sum(value_byte_size(v) for v in value)
+    raise TypeError_(f"unsized value type: {type(value).__name__}")
+
+
+def render_value(value: Value) -> str:
+    """Render a value the way psql would (approximately)."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, str):
+        return value
+    if isinstance(value, Row):
+        return "(" + ",".join(render_value(v) for v in value) + ")"
+    if isinstance(value, list):
+        return "{" + ",".join(render_value(v) for v in value) + "}"
+    return str(value)

@@ -1,0 +1,24 @@
+"""``repro.workloads`` — the paper's four PL/pgSQL functions and their data.
+
+========== ==========================================================
+walk       robot on a Markov-policy grid (Figures 1–3, 10, 11a)
+parse      finite-state-automaton string parser (Table 1, 2, Fig. 11b)
+traverse   directed graph traversal (Table 1)
+fibonacci  query-free iterative Fibonacci (Table 1)
+========== ==========================================================
+"""
+
+from .robot import GridWorld, WALK_SOURCE, setup_robot
+from .parser_fsm import Fsm, PARSE_SOURCE, setup_parser, make_parseable_input
+from .graph import PARAMETRIC_TRAVERSE_SOURCE as TRAVERSE_SOURCE
+from .graph import setup_graph, random_digraph
+from .fibonacci import FIBONACCI_SOURCE, setup_fibonacci
+from .loader import build_demo_database, compile_and_register_all, WORKLOADS
+
+__all__ = [
+    "GridWorld", "WALK_SOURCE", "setup_robot",
+    "Fsm", "PARSE_SOURCE", "setup_parser", "make_parseable_input",
+    "TRAVERSE_SOURCE", "setup_graph", "random_digraph",
+    "FIBONACCI_SOURCE", "setup_fibonacci",
+    "build_demo_database", "compile_and_register_all", "WORKLOADS",
+]

@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sql import Database
+
+
+@pytest.fixture()
+def db() -> Database:
+    """A fresh, empty database per test."""
+    return Database(seed=0)
+
+
+@pytest.fixture()
+def tdb() -> Database:
+    """A database with a small standard table ``t(x int, y text)``."""
+    database = Database(seed=0)
+    database.execute("CREATE TABLE t(x int, y text)")
+    database.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c'), "
+                     "(4, NULL)")
+    return database
+
+
+@pytest.fixture(scope="session")
+def demo():
+    """The full workload database (session-scoped: expensive to build)."""
+    from repro.workloads import build_demo_database
+    return build_demo_database(seed=7)
+
+
+def compile_and_run(db: Database, source: str, calls: list[tuple[str, list]],
+                    seed: int = 11) -> None:
+    """Register *source* interpreted and compiled; assert both agree on
+    every call in *calls* (sql uses {f} as the function-name placeholder)."""
+    from repro.compiler import compile_plsql
+    from repro.sql import ast as A
+    from repro.sql.parser import parse_statement
+
+    statement = parse_statement(source)
+    assert isinstance(statement, A.CreateFunction)
+    name = statement.name
+    if db.catalog.get_function(name) is None:
+        db.execute_ast(statement)
+    compiled = compile_plsql(source, db)
+    compiled.register(db, name=f"{name}_c")
+    for sql, params in calls:
+        db.reseed(seed)
+        expected = db.execute(sql.format(f=name), params).rows
+        db.reseed(seed)
+        actual = db.execute(sql.format(f=f"{name}_c"), params).rows
+        assert actual == expected, (sql, params, expected, actual)

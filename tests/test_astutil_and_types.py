@@ -1,0 +1,192 @@
+"""Unit tests for AST utilities, type casts, and SQL-text round-trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.dialects import render_expression, render_select
+from repro.sql import ast as A
+from repro.sql.astutil import (contains_aggregate, contains_window_call,
+                               expr_equal, max_param_index,
+                               substitute_params, substitute_params_select,
+                               transform_expr, walk_expr)
+from repro.sql.errors import PlanError, TypeError_
+from repro.sql.parser import parse_expression, parse_select
+from repro.sql.types import CompositeType, cast_value, normalize_type_name
+
+
+class TestTypeNames:
+    def test_aliases_normalize(self):
+        assert normalize_type_name("INTEGER") == "int"
+        assert normalize_type_name("bigint") == "int"
+        assert normalize_type_name("Double   Precision") == "float"
+        assert normalize_type_name("VARCHAR") == "text"
+        assert normalize_type_name("BOOLEAN") == "bool"
+        assert normalize_type_name("coord") == "coord"
+
+
+class TestCasts:
+    def test_composite_cast_attaches_names(self):
+        ctype = CompositeType("pt", ("x", "y"), ("int", "int"))
+        from repro.sql.values import Row
+        row = cast_value(Row([1, 2]), "pt", ctype)
+        assert row.field("x") == 1 and row.type_name == "pt"
+
+    def test_composite_arity_check(self):
+        ctype = CompositeType("pt", ("x", "y"), ("int", "int"))
+        from repro.sql.values import Row
+        with pytest.raises(TypeError_):
+            ctype.make_row([1])
+
+    def test_bool_casts(self):
+        assert cast_value("yes", "bool") is True
+        assert cast_value(0, "bool") is False
+        with pytest.raises(TypeError_):
+            cast_value("maybe", "bool")
+
+    def test_float_to_int_rounds_half_away(self):
+        assert cast_value(0.5, "int") == 1
+        assert cast_value(-0.5, "int") == -1
+        assert cast_value(2.4, "int") == 2
+
+
+class TestExprEqual:
+    def test_structural_equality(self):
+        a = parse_expression("x + 1 * y")
+        b = parse_expression("x + 1 * y")
+        c = parse_expression("x + 2 * y")
+        assert expr_equal(a, b)
+        assert not expr_equal(a, c)
+
+    def test_case_insensitive_identifiers(self):
+        assert expr_equal(parse_expression("Foo + 1"),
+                          parse_expression("foo + 1"))
+
+
+class TestWalkAndTransform:
+    def test_walk_visits_all_nodes(self):
+        expr = parse_expression("a + b * coalesce(c, 1)")
+        names = {n.parts[0] for n in walk_expr(expr)
+                 if isinstance(n, A.ColumnRef)}
+        assert names == {"a", "b", "c"}
+
+    def test_transform_replaces_leaves(self):
+        expr = parse_expression("a + a * 2")
+
+        def bump(node):
+            if isinstance(node, A.ColumnRef):
+                return A.Literal(5)
+            return None
+
+        out = transform_expr(expr, bump)
+        assert render_expression(out) == "(5 + (5 * 2))"
+
+    def test_contains_aggregate_and_window(self):
+        assert contains_aggregate(parse_expression("1 + sum(x)"))
+        assert not contains_aggregate(parse_expression("sum(x) over ()"))
+        assert contains_window_call(parse_expression("sum(x) over ()"))
+
+
+class TestParamSubstitution:
+    def test_substitute_in_expression(self):
+        expr = parse_expression("$1 + $2 * $1")
+        out = substitute_params(expr, [A.Literal(10), A.Literal(3)])
+        assert render_expression(out) == "(10 + (3 * 10))"
+
+    def test_substitute_crosses_subqueries(self):
+        stmt = parse_select("SELECT (SELECT $1 + t.x FROM t) FROM u "
+                            "WHERE u.y = $2")
+        out = substitute_params_select(stmt, [A.Literal(7), A.Literal("z")])
+        text = render_select(out)
+        assert "$" not in text and "7" in text and "'z'" in text
+
+    def test_out_of_range_param(self):
+        with pytest.raises(PlanError):
+            substitute_params(parse_expression("$3"), [A.Literal(1)])
+
+    def test_max_param_index(self):
+        stmt = parse_select("SELECT $2 FROM t WHERE (SELECT $5) IS NULL")
+        assert max_param_index(stmt) == 5
+        assert max_param_index(parse_select("SELECT 1")) == 0
+
+
+EXPRESSION_SAMPLES = [
+    "1 + 2 * x",
+    "coalesce(a, b, 0) between 1 and f(2, 3)",
+    "case when x > 0 then 'pos' else 'neg' end",
+    "not (a and b or c)",
+    "x in (1, 2, 3) and y like 'a%'",
+    "cast(x as double precision) :: int",
+    "row(1, x)",
+    "(select max(v) from t where t.k = outer_k)",
+    "sum(x) over (partition by g order by y desc rows between 1 preceding "
+    "and current row)",
+    "array[1, 2][x] is not null",
+]
+
+
+class TestRenderRoundTrip:
+    @pytest.mark.parametrize("text", EXPRESSION_SAMPLES)
+    def test_expression_render_reparse_fixpoint(self, text):
+        first = parse_expression(text)
+        rendered = render_expression(first)
+        second = parse_expression(rendered)
+        assert render_expression(second) == rendered
+
+    @pytest.mark.parametrize("text", [
+        "SELECT a, b FROM t WHERE a > 1 ORDER BY b DESC LIMIT 3",
+        "WITH RECURSIVE r(n) AS (SELECT 1 UNION ALL SELECT n + 1 FROM r "
+        "WHERE n < 5) SELECT * FROM r",
+        "SELECT g, count(*) FROM t GROUP BY g HAVING count(*) > 1",
+        "SELECT * FROM a LEFT JOIN LATERAL (SELECT a.x) AS s(v) ON true",
+        "VALUES (1, 'a'), (2, 'b')",
+    ])
+    def test_select_render_reparse_fixpoint(self, text):
+        first = parse_select(text)
+        rendered = render_select(first)
+        second = parse_select(rendered)
+        assert render_select(second) == rendered
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.recursive(
+        st.one_of(st.integers(-99, 99), st.booleans(), st.none(),
+                  st.text(alphabet="abc'", max_size=5)),
+        lambda leaf: st.tuples(leaf, leaf), max_leaves=6))
+    def test_random_literal_trees_round_trip(self, value):
+        from repro.sql import Database
+        db = Database()
+
+        def to_expr(v):
+            if isinstance(v, tuple):
+                return A.RowExpr([to_expr(a) for a in v])
+            return A.Literal(v)
+
+        expr = to_expr(value)
+        rendered = render_expression(expr)
+        reparsed = parse_expression(rendered)
+        assert render_expression(reparsed) == rendered
+        # and the engine evaluates both to the same value
+        assert db.query_value("SELECT " + rendered) == \
+            db.query_value("SELECT " + render_expression(reparsed))
+
+
+class TestBenchHarness:
+    def test_render_table_alignment(self):
+        from repro.bench.harness import render_table
+        text = render_table(["name", "v"], [["a", 1.5], ["bb", 22]], "T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "1.50" in text and "22" in text
+
+    def test_time_query_collects_samples(self, tdb):
+        from repro.bench.harness import time_query
+        timing = time_query(tdb, "SELECT count(*) FROM t", runs=3, warmup=1)
+        assert len(timing.samples) == 3
+        assert timing.minimum <= timing.mean <= timing.maximum
+
+    def test_ensure_calls_table(self, db):
+        from repro.bench.harness import CALLS_TABLE, ensure_calls_table
+        ensure_calls_table(db, 5)
+        assert db.query_value(f"SELECT count(*) FROM {CALLS_TABLE}") == 5
+        ensure_calls_table(db, 2)
+        assert db.query_value(f"SELECT count(*) FROM {CALLS_TABLE}") == 2

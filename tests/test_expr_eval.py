@@ -1,0 +1,217 @@
+"""Expression evaluation semantics, end to end through the engine."""
+
+import pytest
+
+from repro.sql.errors import ExecutionError, TypeError_
+
+
+def val(db, expr, params=()):
+    return db.query_value(f"SELECT {expr}", params)
+
+
+class TestArithmetic:
+    def test_basics(self, db):
+        assert val(db, "1 + 2 * 3") == 7
+        assert val(db, "(1 + 2) * 3") == 9
+        assert val(db, "10 - 4 - 3") == 3
+        assert val(db, "2.5 * 4") == 10.0
+
+    def test_integer_division_truncates_toward_zero(self, db):
+        assert val(db, "7 / 2") == 3
+        assert val(db, "-7 / 2") == -3
+        assert val(db, "7 / 2.0") == 3.5
+
+    def test_modulo_sign_follows_dividend(self, db):
+        assert val(db, "7 % 3") == 1
+        assert val(db, "-7 % 3") == -1
+
+    def test_division_by_zero(self, db):
+        with pytest.raises(ExecutionError, match="division by zero"):
+            val(db, "1 / 0")
+        with pytest.raises(ExecutionError, match="division by zero"):
+            val(db, "1 % 0")
+
+    def test_null_propagation(self, db):
+        assert val(db, "1 + NULL") is None
+        assert val(db, "NULL * 0") is None
+        assert val(db, "-CAST(NULL AS int)") is None
+
+    def test_type_errors(self, db):
+        with pytest.raises(TypeError_):
+            val(db, "1 + 'a'")
+        with pytest.raises(TypeError_):
+            val(db, "true + 1")
+
+
+class TestComparisonAndLogic:
+    def test_comparisons(self, db):
+        assert val(db, "1 < 2") is True
+        assert val(db, "'a' >= 'b'") is False
+        assert val(db, "NULL = NULL") is None
+
+    def test_short_circuit_and(self, db):
+        # false AND <error> must not evaluate the error side
+        assert val(db, "false AND 1/0 = 1") is False
+
+    def test_short_circuit_or(self, db):
+        assert val(db, "true OR 1/0 = 1") is True
+
+    def test_null_logic(self, db):
+        assert val(db, "NULL AND false") is False
+        assert val(db, "NULL OR true") is True
+        assert val(db, "NULL AND true") is None
+        assert val(db, "NOT CAST(NULL AS bool)") is None
+
+    def test_is_predicates(self, db):
+        assert val(db, "NULL IS NULL") is True
+        assert val(db, "1 IS NOT NULL") is True
+        assert val(db, "CAST(NULL AS bool) IS TRUE") is False
+        assert val(db, "false IS NOT TRUE") is True
+
+    def test_is_distinct_from(self, db):
+        assert val(db, "NULL IS DISTINCT FROM NULL") is False
+        assert val(db, "1 IS DISTINCT FROM NULL") is True
+        assert val(db, "1 IS NOT DISTINCT FROM 1") is True
+
+    def test_between(self, db):
+        assert val(db, "5 BETWEEN 1 AND 10") is True
+        assert val(db, "0 NOT BETWEEN 1 AND 10") is True
+        assert val(db, "NULL BETWEEN 1 AND 2") is None
+        # partial knowledge: 5 >= 1 is true but high bound is NULL
+        assert val(db, "5 BETWEEN 1 AND NULL") is None
+        assert val(db, "0 BETWEEN 1 AND NULL") is False
+
+    def test_in_list_three_valued(self, db):
+        assert val(db, "2 IN (1, 2, 3)") is True
+        assert val(db, "5 IN (1, 2, NULL)") is None
+        assert val(db, "5 NOT IN (1, 2)") is True
+        assert val(db, "5 NOT IN (1, NULL)") is None
+
+
+class TestStringsAndPatterns:
+    def test_concat(self, db):
+        assert val(db, "'a' || 'b'") == "ab"
+        assert val(db, "'n=' || 5") == "n=5"
+        assert val(db, "'x' || NULL") is None
+
+    def test_like(self, db):
+        assert val(db, "'hello' LIKE 'h%'") is True
+        assert val(db, "'hello' LIKE '_ello'") is True
+        assert val(db, "'hello' LIKE 'H%'") is False
+        assert val(db, "'hello' ILIKE 'H%'") is True
+        assert val(db, "'a.c' LIKE 'a.c'") is True
+        assert val(db, "'abc' LIKE 'a.c'") is False  # dot is literal
+        assert val(db, "'a%b' LIKE 'a\\%b'") is True
+
+    def test_string_functions(self, db):
+        assert val(db, "length('abc')") == 3
+        assert val(db, "substr('hello', 2, 3)") == "ell"
+        assert val(db, "substr('hello', 2)") == "ello"
+        assert val(db, "substr('hello', 0, 3)") == "he"  # 1-based tolerance
+        assert val(db, "left('hello', 2)") == "he"
+        assert val(db, "right('hello', 2)") == "lo"
+        assert val(db, "upper('aB')") == "AB"
+        assert val(db, "replace('aaa', 'a', 'b')") == "bbb"
+        assert val(db, "repeat('ab', 3)") == "ababab"
+        assert val(db, "reverse('abc')") == "cba"
+        assert val(db, "strpos('hello', 'll')") == 3
+        assert val(db, "trim('  x  ')") == "x"
+
+    def test_concat_function_ignores_nulls(self, db):
+        assert val(db, "concat('a', NULL, 'b', 1)") == "ab1"
+
+
+class TestConditionals:
+    def test_case_searched(self, db):
+        assert val(db, "CASE WHEN 1 > 2 THEN 'a' WHEN 2 > 1 THEN 'b' END") == "b"
+        assert val(db, "CASE WHEN false THEN 1 END") is None
+
+    def test_case_simple_null_never_matches(self, db):
+        assert val(db, "CASE CAST(NULL AS int) WHEN NULL THEN 'x' "
+                       "ELSE 'no' END") == "no"
+
+    def test_case_lazy(self, db):
+        assert val(db, "CASE WHEN true THEN 1 ELSE 1/0 END") == 1
+
+    def test_coalesce_lazy(self, db):
+        assert val(db, "coalesce(1, 1/0)") == 1
+        assert val(db, "coalesce(NULL, NULL, 3)") == 3
+        assert val(db, "coalesce(CAST(NULL AS int))") is None
+
+    def test_nullif_greatest_least(self, db):
+        assert val(db, "nullif(1, 1)") is None
+        assert val(db, "nullif(1, 2)") == 1
+        assert val(db, "greatest(1, NULL, 3)") == 3
+        assert val(db, "least(5, 2, NULL)") == 2
+
+
+class TestMathFunctions:
+    def test_numeric_builtins(self, db):
+        assert val(db, "sign(-5)") == -1
+        assert val(db, "sign(0)") == 0
+        assert val(db, "abs(-3.5)") == 3.5
+        assert val(db, "floor(1.7)") == 1
+        assert val(db, "ceil(1.2)") == 2
+        assert val(db, "round(2.5)") == 3  # half away from zero
+        assert val(db, "round(-2.5)") == -3
+        assert val(db, "round(2.345, 2)") == 2.35
+        assert val(db, "trunc(1.9)") == 1
+        assert val(db, "power(2, 10)") == 1024.0
+        assert val(db, "mod(9, 4)") == 1
+        assert val(db, "sqrt(16)") == 4.0
+
+    def test_sqrt_negative_errors(self, db):
+        with pytest.raises(ExecutionError):
+            val(db, "sqrt(-1)")
+
+    def test_random_seeded(self, db):
+        db.reseed(99)
+        first = val(db, "random()")
+        db.reseed(99)
+        assert val(db, "random()") == first
+        assert 0.0 <= first < 1.0
+
+
+class TestArraysAndRows:
+    def test_array_literal_and_index(self, db):
+        assert val(db, "(array[10, 20, 30])[2]") == 20
+        assert val(db, "(array[1])[5]") is None  # out of range -> NULL
+        assert val(db, "(array[1])[0]") is None
+
+    def test_array_functions(self, db):
+        assert val(db, "cardinality(array[1,2,3])") == 3
+        assert val(db, "array_length(array[1,2], 1)") == 2
+        assert val(db, "array_append(array[1], 2)") == [1, 2]
+        assert val(db, "string_to_array('a,b', ',')") == ["a", "b"]
+        assert val(db, "array_to_string(array['a','b'], '-')") == "a-b"
+
+    def test_array_concat(self, db):
+        assert val(db, "array[1] || array[2, 3]") == [1, 2, 3]
+        assert val(db, "array[1] || 2") == [1, 2]
+
+    def test_row_construction_and_field(self, db):
+        db.execute("CREATE TYPE pt AS (x int, y int)")
+        assert val(db, "(row(3, 4)::pt).y") == 4
+        assert val(db, "row(1, 2) = row(1, 2)") is True
+        assert val(db, "(1, 2) < (1, 3)") is True
+
+    def test_cast_rules(self, db):
+        assert val(db, "CAST('42' AS int)") == 42
+        assert val(db, "CAST(3.7 AS int)") == 4  # rounds
+        assert val(db, "CAST(-3.5 AS int)") == -4
+        assert val(db, "CAST(1 AS text)") == "1"
+        assert val(db, "CAST('t' AS bool)") is True
+        assert val(db, "CAST('off' AS bool)") is False
+        assert val(db, "CAST(NULL AS int)") is None
+        with pytest.raises(TypeError_):
+            val(db, "CAST('nope' AS int)")
+
+
+class TestParams:
+    def test_positional_params(self, db):
+        assert db.query_value("SELECT $1 + $2", [3, 4]) == 7
+        assert db.query_value("SELECT $2", ["a", "b"]) == "b"
+
+    def test_missing_param_errors(self, db):
+        with pytest.raises(ExecutionError, match="parameter"):
+            db.query_value("SELECT $3", [1])
