@@ -22,7 +22,7 @@ from typing import Optional
 from ..sql import ast as SA
 from ..sql.astutil import walk_expr
 from ..sql.catalog import FunctionDef
-from ..sql.errors import PlsqlRuntimeError
+from ..sql.errors import ExecutionError, PlsqlRuntimeError
 from ..sql.expr import EvalContext, ExprCompiler, Relation, RuntimeContext, Scope
 from ..sql.executor.scan import make_slots
 from ..sql.profiler import (EXEC_END, EXEC_RUN, EXEC_START, INTERP, PLAN,
@@ -113,6 +113,8 @@ class Interpreter:
         self.db = db
         self.runtime = runtime
         self.values: list[Value] = [None] * len(runtime.var_names)
+        self._stmt_budget = db.max_interp_statements
+        self._stmt_count = 0
         func = runtime.func
         for index, (name, type_name) in enumerate(
                 zip(func.param_names, func.param_types)):
@@ -232,7 +234,18 @@ class Interpreter:
     _PROFILED_LEAVES = ("Assign", "ReturnStmt", "PerformStmt", "ExitStmt",
                         "ContinueStmt")
 
+    def _tick(self) -> None:
+        """Charge one statement against the activation's budget."""
+        self._stmt_count += 1
+        if self._stmt_count > self._stmt_budget:
+            raise ExecutionError(
+                f"statement budget exceeded in {self.runtime.func.name}() "
+                f"after {self._stmt_budget} statements "
+                f"(max_interp_statements={self._stmt_budget}); "
+                "non-terminating loop?")
+
     def exec_stmt(self, stmt: P.Stmt) -> None:
+        self._tick()
         kind = type(stmt).__name__
         method = getattr(self, "_exec_" + kind, None)
         if method is None:
@@ -264,6 +277,9 @@ class Interpreter:
 
     def _loop_body(self, stmt, body: list[P.Stmt]) -> bool:
         """Run one iteration; return False when the loop should stop."""
+        # Charge the iteration itself, so even an empty or condition-only
+        # loop (WHILE ... LOOP END LOOP) stays within the statement budget.
+        self._tick()
         try:
             self.exec_block(body)
         except _Exit as signal:

@@ -292,6 +292,84 @@ def transform_select(stmt: A.SelectStmt,
     )
 
 
+def split_conjuncts(expr: A.Expr) -> list[A.Expr]:
+    """Flatten a conjunction into its top-level AND-ed conjuncts."""
+    if isinstance(expr, A.BinaryOp) and expr.op == "and":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def conjoin(conjuncts: list[A.Expr]) -> Optional[A.Expr]:
+    """Rebuild an AND chain from *conjuncts* (None for the empty list)."""
+    out: Optional[A.Expr] = None
+    for conjunct in conjuncts:
+        out = conjunct if out is None else A.BinaryOp("and", out, conjunct)
+    return out
+
+
+class ColumnBindings:
+    """Which relations an expression reads — the planner's pushdown oracle.
+
+    ``rels`` is the set of level-0 relation indices referenced; ``outer`` is
+    True when some reference resolves to an enclosing scope.  ``unknown``
+    means the analysis is inconclusive (a subquery, whose internals this
+    walk does not enter; a name that fails to resolve; or a function call
+    that is volatile or user-defined and therefore must keep its exact
+    evaluation count) and the caller must assume the expression may read
+    *anything* — it must stay where the query text put it.
+    """
+
+    __slots__ = ("rels", "outer", "unknown")
+
+    def __init__(self, rels: frozenset, outer: bool, unknown: bool):
+        self.rels = rels
+        self.outer = outer
+        self.unknown = unknown
+
+
+def column_bindings(expr: A.Expr, scope) -> ColumnBindings:
+    """Resolve every column reference in *expr* against *scope* and report
+    which level-0 relations it binds (see :class:`ColumnBindings`).
+
+    Used by the planner to decide whether a WHERE conjunct can be pushed
+    below a join and whether an equality's sides straddle a join cleanly
+    enough to become hash-join keys.
+    """
+    from .errors import NameResolutionError
+    from .functions import SCALAR_BUILTINS, VOLATILE_FUNCTIONS
+
+    rels: set[int] = set()
+    outer = False
+    unknown = False
+    for node in walk_expr(expr):
+        if isinstance(node, (A.ScalarSubquery, A.Exists, A.InSubquery)):
+            unknown = True
+            continue
+        if isinstance(node, A.FuncCall):
+            # Moving an expression changes how often it runs: only pure
+            # builtins may move.  Volatile builtins (random, ...) and any
+            # user-defined function (PostgreSQL defaults those to VOLATILE,
+            # and they may raise) pin the conjunct in place.
+            name = node.name.lower()
+            pure = (name == "coalesce"
+                    or (name in SCALAR_BUILTINS
+                        and name not in VOLATILE_FUNCTIONS))
+            if not pure:
+                unknown = True
+            continue
+        if isinstance(node, A.ColumnRef):
+            try:
+                level, rel_index, _col, _fields = scope.resolve(node.parts)
+            except NameResolutionError:
+                unknown = True
+                continue
+            if level == 0:
+                rels.add(rel_index)
+            else:
+                outer = True
+    return ColumnBindings(frozenset(rels), outer, unknown)
+
+
 def contains_aggregate(expr: A.Expr) -> bool:
     """True when *expr* contains a non-windowed aggregate call."""
     for node in walk_expr(expr):

@@ -84,6 +84,13 @@ class Catalog:
     def has_table(self, name: str) -> bool:
         return name.lower() in self.tables
 
+    def estimate_rows(self, name: str, default: int = 1000) -> int:
+        """Cardinality estimate for *name*, or *default* when unknown
+        (subqueries, CTEs, missing tables).  Feeds the planner's
+        hash-join build-side choice."""
+        table = self.tables.get(name.lower())
+        return table.estimate_rows() if table is not None else default
+
     def drop_table(self, name: str, if_exists: bool = False) -> None:
         key = name.lower()
         if key not in self.tables:

@@ -92,6 +92,12 @@ class Database:
         #: SQL UDFs (the paper's intermediate UDF form) blow this quickly.
         self.max_udf_depth = 192
         self._udf_depth = 0
+        #: Statement budget per PL/pgSQL activation: a loop that never exits
+        #: (WHILE over a diverging Collatz sequence, say) raises
+        #: ExecutionError instead of hanging the process.  Mirrors the
+        #: max_udf_depth guard above; lower it for tests, raise it for
+        #: genuinely long-running functions.
+        self.max_interp_statements = 10_000_000
         self.plan_cache_enabled = True
         #: RAISE NOTICE/WARNING/INFO messages from PL/pgSQL execution.
         self.notices: list[str] = []

@@ -1,10 +1,15 @@
-"""FROM-clause evaluation: nested-loop joins over a shared row vector.
+"""FROM-clause evaluation: join trees over a shared row vector.
 
 A SELECT's FROM clause is planned into a tree of :class:`FromLeafPlan` /
-:class:`FromJoinPlan` nodes that all write into one shared *row vector* —
-one slot per FROM relation, in syntactic left-to-right order.  Expressions
-over the SELECT (WHERE, projections, join conditions) evaluate against that
-vector.
+:class:`FromJoinPlan` (nested loop) / :class:`~.hashjoin.HashJoinPlan`
+nodes that all write into one shared *row vector* — one slot per FROM
+relation, in syntactic left-to-right order.  Expressions over the SELECT
+(WHERE, projections, join conditions) evaluate against that vector.  The
+planner picks the join strategy per node at plan time: equi-joins become
+build/probe hash joins, everything else (non-equi conditions, LATERAL)
+stays on the nested-loop path below.  Single-relation WHERE conjuncts are
+pushed down onto the leaves as *filters*, so they run before any join
+multiplies rows.
 
 LATERAL falls out naturally: the right side of a join is re-opened for every
 left tick, and a lateral subquery is simply opened with an
@@ -65,43 +70,63 @@ class FromNodeState:
 
 
 class FromLeafPlan(FromNodePlan):
-    """One FROM item: a tuple source writing to ``vector[rel_index]``."""
+    """One FROM item: a tuple source writing to ``vector[rel_index]``.
 
-    __slots__ = ("rel_index", "source", "lateral")
+    ``filter`` (set by the planner's predicate pushdown) is a compiled
+    conjunction of the WHERE conjuncts that reference only this relation;
+    rows failing it never reach the enclosing join.
+    """
+
+    __slots__ = ("rel_index", "source", "lateral", "filter", "filter_subplans")
 
     def __init__(self, rel_index: int, width: int, source: Plan, lateral: bool):
         super().__init__([(rel_index, width)])
         self.rel_index = rel_index
         self.source = source
         self.lateral = lateral
+        self.filter = None
+        self.filter_subplans: list = []
 
     def instantiate(self, rt, ictx, vector: list) -> "FromLeafState":
-        return FromLeafState(rt, vector, self, self.source.instantiate(rt, ictx))
+        return FromLeafState(rt, vector, self,
+                             self.source.instantiate(rt, ictx),
+                             make_slots(rt, ictx, self.filter_subplans))
 
     def children(self) -> list[Plan]:
         return [self.source]
 
     def explain(self, indent: int = 0) -> str:
         head = "  " * indent + ("-> Lateral" if self.lateral else "-> From")
-        return head + f" #{self.rel_index}\n" + self.source.explain(indent + 1)
+        head += f" #{self.rel_index}"
+        if self.filter is not None:
+            head += "  (pushed-down filter)"
+        return head + "\n" + self.source.explain(indent + 1)
 
 
 class FromLeafState(FromNodeState):
-    __slots__ = ("plan", "source", "_vector_ctx", "source_next", "rel_index")
+    __slots__ = ("plan", "source", "_vector_ctx", "source_next", "rel_index",
+                 "filter_slots", "_filter_ctx")
 
-    def __init__(self, rt, vector, plan: FromLeafPlan, source: PlanState):
+    def __init__(self, rt, vector, plan: FromLeafPlan, source: PlanState,
+                 filter_slots: list):
         super().__init__(rt, vector)
         self.plan = plan
         self.source = source
         self.source_next = source.next
         self.rel_index = plan.rel_index
+        self.filter_slots = filter_slots
         self._vector_ctx: EvalContext | None = None
+        self._filter_ctx: EvalContext | None = None
 
     def open(self, outer) -> None:
+        rebind = self.outer is not outer
+        if self.plan.filter is not None and (self._filter_ctx is None or rebind):
+            self._filter_ctx = EvalContext(self.rt, self.vector, parent=outer,
+                                           slots=self.filter_slots)
         if self.plan.lateral or type(self.source).__name__ == "IndexScanState":
             # The source sees the shared vector as its immediate outer scope
             # (index scans evaluate their correlated keys against it).
-            if self._vector_ctx is None or self.outer is not outer:
+            if self._vector_ctx is None or rebind:
                 self._vector_ctx = EvalContext(self.rt, self.vector,
                                                parent=outer)
             self.outer = outer
@@ -111,11 +136,14 @@ class FromLeafState(FromNodeState):
             self.source.open(outer)
 
     def next(self) -> bool:
-        row = self.source_next()
-        if row is None:
-            return False
-        self.vector[self.rel_index] = row
-        return True
+        predicate = self.plan.filter
+        while True:
+            row = self.source_next()
+            if row is None:
+                return False
+            self.vector[self.rel_index] = row
+            if predicate is None or predicate(self._filter_ctx) is True:
+                return True
 
     def close(self) -> None:
         self.source.close()

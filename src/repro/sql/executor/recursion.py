@@ -26,7 +26,7 @@ from typing import Optional
 from ..errors import ExecutionError, PlanError
 from ..storage import TupleStore
 from .base import Plan, PlanState
-from .select_core import _hashable_row
+from ..values import hashable_row as _hashable_row
 
 
 class CteDef:

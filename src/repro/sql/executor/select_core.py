@@ -17,7 +17,8 @@ from typing import Callable, Optional, Sequence
 from ..errors import ExecutionError
 from ..expr import EvalContext
 from ..functions import make_aggregate
-from ..values import Row
+from ..values import hashable_row as _hashable_row
+from ..values import hashable_value as _hashable_value
 from .base import Plan, PlanState
 from .fromtree import FromNodePlan
 from .scan import make_slots
@@ -292,17 +293,3 @@ class SelectCoreState(PlanState):
         return out
 
 
-def _hashable_value(value):
-    if isinstance(value, Row):
-        return ("row",) + tuple(_hashable_value(v) for v in value)
-    if isinstance(value, list):
-        return ("arr",) + tuple(_hashable_value(v) for v in value)
-    if value is None:
-        return ("null",)
-    if isinstance(value, bool):
-        return ("bool", value)
-    return value
-
-
-def _hashable_row(row: tuple) -> tuple:
-    return tuple(_hashable_value(v) for v in row)

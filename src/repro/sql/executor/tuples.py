@@ -7,7 +7,7 @@ from typing import Callable, Optional, Sequence
 from ..errors import ExecutionError
 from ..values import row_sort_key
 from .base import Plan, PlanState
-from .select_core import _hashable_row
+from ..values import hashable_row as _hashable_row
 
 
 class SortPlan(Plan):

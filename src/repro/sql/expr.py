@@ -635,7 +635,26 @@ def _mod(a, b):
     return math.fmod(a, b)
 
 
-_ARITH_FNS = {"+": _add, "-": _sub, "*": _mul, "/": _div, "%": _mod}
+def _pow(a, b):
+    import math
+
+    _check_number(a), _check_number(b)
+    # PostgreSQL ^ semantics: double-precision result, with the two error
+    # cases numeric exponentiation rejects.  Infinite/NaN exponents skip the
+    # integrality test and take IEEE semantics ((-2) ^ inf = inf).
+    if a == 0 and b < 0:
+        raise ExecutionError("zero raised to a negative power is undefined")
+    if a < 0 and math.isfinite(b) and float(b) != int(b):
+        raise ExecutionError("a negative number raised to a non-integer "
+                             "power yields a complex result")
+    try:
+        return float(a) ** float(b)
+    except OverflowError:
+        raise ExecutionError("value out of range: overflow")
+
+
+_ARITH_FNS = {"+": _add, "-": _sub, "*": _mul, "/": _div, "%": _mod,
+              "^": _pow}
 
 
 def _concat(a: Value, b: Value) -> Value:

@@ -38,7 +38,7 @@ EOF = "EOF"
 #: Multi-character operators, longest first so maximal munch works.
 _OPERATORS = [
     "::", ":=", "..", "||", "<=", ">=", "<>", "!=", "=>",
-    "(", ")", ",", ";", ".", "=", "<", ">", "+", "-", "*", "/", "%",
+    "(", ")", ",", ";", ".", "=", "<", ">", "+", "-", "*", "/", "%", "^",
     "[", "]", ":",
 ]
 

@@ -511,10 +511,19 @@ class SqlParser:
         return left
 
     def _parse_multiplicative(self) -> A.Expr:
-        left = self._parse_unary()
+        left = self._parse_power()
         while self.ts.at_op("*", "/", "%"):
             op = str(self.ts.advance().value)
-            left = A.BinaryOp(op, left, self._parse_unary())
+            left = A.BinaryOp(op, left, self._parse_power())
+        return left
+
+    def _parse_power(self) -> A.Expr:
+        # PostgreSQL precedence: ^ binds tighter than * / % but looser than
+        # unary minus (-2 ^ 2 = 4), and associates left (2 ^ 3 ^ 3 = 512).
+        left = self._parse_unary()
+        while self.ts.at_op("^"):
+            self.ts.advance()
+            left = A.BinaryOp("^", left, self._parse_unary())
         return left
 
     def _parse_unary(self) -> A.Expr:

@@ -24,11 +24,13 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional, Sequence
 
 from . import ast as A
-from .astutil import contains_aggregate, contains_window_call, expr_equal
+from .astutil import (column_bindings, conjoin, contains_aggregate,
+                      contains_window_call, expr_equal, split_conjuncts)
 from .errors import NameResolutionError, PlanError
 from .expr import ExprCompiler, Relation, Scope
 from .executor.base import Plan
 from .executor.fromtree import FromJoinPlan, FromLeafPlan, FromNodePlan
+from .executor.hashjoin import HashJoinPlan
 from .executor.recursion import CteDef, CTEScanPlan, SelectStmtPlan
 from .executor.scan import OneRowPlan, RowExpandPlan, SeqScanPlan, ValuesPlan
 from .executor.select_core import (AggCallPlan, AggStagePlan, SelectCorePlan,
@@ -58,6 +60,36 @@ class CteEnv:
         return None
 
 
+class _JoinDraft:
+    """A join captured during FROM planning, before strategy choice.
+
+    ``condition`` is the raw ON expression (AST, not yet compiled);
+    :meth:`Planner._finalize_from` later decides per node whether the join
+    runs as a hash join or a nested loop and compiles accordingly.
+    ``prefix_len`` records how many relations were in scope when the join
+    was reached — ON conditions must not see later FROM items, so they are
+    analyzed and compiled against this prefix (see ``_prefix_scope``).
+    """
+
+    __slots__ = ("kind", "left", "right", "condition", "prefix_len")
+
+    def __init__(self, kind: str, left, right, condition: Optional[A.Expr],
+                 prefix_len: int):
+        self.kind = kind
+        self.left = left
+        self.right = right
+        self.condition = condition
+        self.prefix_len = prefix_len
+
+    @property
+    def rel_slots(self) -> list[tuple[int, int]]:
+        return self.left.rel_slots + self.right.rel_slots
+
+
+#: Cardinality assumed for relations without statistics (subqueries, CTEs).
+_DEFAULT_CARDINALITY = 1000
+
+
 class Planner:
     """Plans SELECT statements against a database's catalog."""
 
@@ -66,6 +98,14 @@ class Planner:
         #: Inline compiled functions at call sites (the paper's default).
         #: Disable to measure the cost of calling them like ordinary UDFs.
         self.inline_compiled = True
+        #: Plan equi-joins as build/probe hash joins (executor/hashjoin.py).
+        #: Disable to force the seed nested-loop path.  Flags are consulted
+        #: at plan time only — call ``Database.clear_plan_cache()`` after
+        #: toggling, or cached plans keep their old strategy.
+        self.enable_hashjoin = True
+        #: Push single-relation WHERE conjuncts down to the scans that bind
+        #: them, and promote cross-join equality conjuncts to join keys.
+        self.enable_pushdown = True
         self._cte_env: Optional[CteEnv] = None
 
     @property
@@ -244,19 +284,26 @@ class Planner:
     def _plan_core(self, core: A.SelectCore, outer_scope: Optional[Scope],
                    order_by: list[A.SortItem]) -> Plan:
         relations: list[Relation] = []
-        from_plan: Optional[FromNodePlan] = None
+        from_node = None
         if core.from_clause is not None:
-            from_plan = self._plan_from(core.from_clause, relations, outer_scope)
+            from_node = self._plan_from(core.from_clause, relations, outer_scope)
         scope = Scope(relations, parent=outer_scope)
 
         # Index pushdown: correlated equality predicates on a single base
         # table become hash-index probes (see IndexScanPlan).
         residual_where = core.where
-        if (core.where is not None and isinstance(from_plan, FromLeafPlan)
-                and isinstance(from_plan.source, SeqScanPlan)
-                and not from_plan.lateral):
-            from_plan, residual_where = self._try_index_pushdown(
-                core.where, from_plan, scope)
+        if (core.where is not None and isinstance(from_node, FromLeafPlan)
+                and isinstance(from_node.source, SeqScanPlan)
+                and not from_node.lateral):
+            from_node, residual_where = self._try_index_pushdown(
+                core.where, from_node, scope)
+
+        # Join strategy + predicate pushdown: distribute WHERE conjuncts
+        # over the FROM tree and pick hash vs nested loop per join.
+        from_plan: Optional[FromNodePlan] = None
+        if from_node is not None:
+            from_plan, residual_where = self._finalize_from(
+                from_node, residual_where, scope)
 
         # WHERE --------------------------------------------------------
         where_compiler = ExprCompiler(scope, self)
@@ -392,19 +439,19 @@ class Planner:
         if isinstance(ref, A.Join):
             left = self._plan_from(ref.left, relations, outer_scope)
             right = self._plan_from(ref.right, relations, outer_scope)
-            condition = None
-            compiler = ExprCompiler(Scope(list(relations), parent=outer_scope),
-                                    self)
+            condition: Optional[A.Expr] = None
             if ref.condition is not None:
                 if ref.kind == "cross":
                     raise PlanError("CROSS JOIN cannot have an ON condition")
                 if not (isinstance(ref.condition, A.Literal)
                         and ref.condition.value is True):
-                    condition = compiler.compile(ref.condition)
+                    condition = ref.condition
             elif ref.kind in ("inner", "left"):
                 raise PlanError(f"{ref.kind.upper()} JOIN requires ON")
-            return FromJoinPlan(ref.kind, left, right, condition,
-                                compiler.subplans)
+            # Strategy (hash vs nested loop) and condition compilation are
+            # deferred to _finalize_from, once the full scope is known.
+            return _JoinDraft(ref.kind, left, right, condition,
+                              prefix_len=len(relations))
         raise PlanError(f"unsupported FROM item {type(ref).__name__}")
 
     def _plan_from_table(self, ref: A.TableName,
@@ -463,6 +510,204 @@ class Planner:
         return FromLeafPlan(rel_index, len(columns), subplan, ref.lateral)
 
     # ------------------------------------------------------------------
+    # Join strategy selection + predicate pushdown
+    # ------------------------------------------------------------------
+
+    def _finalize_from(self, node, where: Optional[A.Expr], scope: Scope):
+        """Turn the FROM draft tree into executable plan nodes.
+
+        Distributes WHERE conjuncts: single-relation conjuncts become leaf
+        filters, equality conjuncts straddling an inner/cross join become
+        hash-join keys, and whatever cannot move safely (conjuncts touching
+        the nullable side of a LEFT JOIN, subqueries, outer-only or
+        constant predicates) stays in the residual WHERE.  Returns
+        ``(from_plan, residual_where)``.
+        """
+        if isinstance(node, FromLeafPlan):
+            # Single relation: WHERE already runs right above the scan.
+            return node, where
+        conjuncts = split_conjuncts(where) if where is not None else []
+        protected: set[int] = set()
+        _collect_nullable_rels(node, protected)
+        pushable: list[tuple[A.Expr, frozenset]] = []
+        residual: list[A.Expr] = []
+        for conjunct in conjuncts:
+            info = column_bindings(conjunct, scope)
+            if (self.enable_pushdown and not info.unknown and info.rels
+                    and not (info.rels & protected)):
+                pushable.append((conjunct, info.rels))
+            else:
+                residual.append(conjunct)
+        plan, leftover, _stable = self._finalize_node(node, pushable, scope)
+        residual.extend(conjunct for conjunct, _ in leftover)
+        return plan, conjoin(residual)
+
+    def _finalize_node(self, node, conjs: list, scope: Scope):
+        """Recursively finalize *node*, consuming WHERE conjuncts from
+        *conjs* where they can sink; returns ``(plan, unconsumed, stable)``.
+
+        ``stable`` means: for a fixed database state, the subtree produces
+        the same rows on every rescan regardless of outer context — only
+        plain base-table scans with uncorrelated predicates qualify.  Hash
+        joins use it to keep their build table across rescans.
+        """
+        if isinstance(node, FromLeafPlan):
+            mine = [c for c, rels in conjs if rels == {node.rel_index}]
+            rest = [(c, rels) for c, rels in conjs
+                    if rels != {node.rel_index}]
+            stable = not node.lateral and isinstance(node.source, SeqScanPlan)
+            if mine:
+                stable = stable and not any(
+                    column_bindings(c, scope).outer for c in mine)
+                compiler = ExprCompiler(scope, self)
+                node.filter = compiler.compile(conjoin(mine))
+                node.filter_subplans = compiler.subplans
+            return node, rest, stable
+
+        left_slots = frozenset(i for i, _ in node.left.rel_slots)
+        right_slots = frozenset(i for i, _ in node.right.rel_slots)
+        to_left, to_right, spanning = [], [], []
+        for conjunct, rels in conjs:
+            if rels <= left_slots:
+                to_left.append((conjunct, rels))
+            elif rels <= right_slots:
+                to_right.append((conjunct, rels))
+            else:
+                spanning.append((conjunct, rels))
+        left_plan, leftover_left, left_stable = self._finalize_node(
+            node.left, to_left, scope)
+        right_plan, leftover_right, right_stable = self._finalize_node(
+            node.right, to_right, scope)
+        leftover = leftover_left + leftover_right
+
+        # ON conditions must not see FROM items planned after the join —
+        # the seed compiled them against the scope prefix of their planning
+        # moment, and runtime only guarantees those vector slots are filled.
+        on_scope = _prefix_scope(scope, node.prefix_len)
+
+        # Equi-key extraction: from the ON condition, and — for inner and
+        # cross joins, where WHERE and ON are interchangeable — from WHERE
+        # conjuncts spanning the two sides.
+        on_conjuncts = (split_conjuncts(node.condition)
+                        if node.condition is not None else [])
+        key_pairs: list[tuple[A.Expr, A.Expr]] = []
+        residual_on: list[A.Expr] = []
+        for conjunct in on_conjuncts:
+            pair = self._equi_key(conjunct, left_slots, right_slots, on_scope)
+            (key_pairs.append(pair) if pair is not None
+             else residual_on.append(conjunct))
+        where_keys: list[tuple[A.Expr, frozenset, tuple]] = []
+        if node.kind in ("inner", "cross") and self.enable_pushdown:
+            for conjunct, rels in spanning:
+                pair = self._equi_key(conjunct, left_slots, right_slots, scope)
+                if pair is not None:
+                    where_keys.append((conjunct, rels, pair))
+                else:
+                    leftover.append((conjunct, rels))
+        else:
+            leftover.extend(spanning)
+
+        can_hash = (self.enable_hashjoin
+                    and node.kind in ("inner", "left", "cross")
+                    and bool(key_pairs or where_keys)
+                    and not _contains_lateral(left_plan)
+                    and not _contains_lateral(right_plan))
+        condition_info = (column_bindings(node.condition, on_scope)
+                          if node.condition is not None else None)
+        if not can_hash:
+            # Nested-loop fallback: WHERE key candidates go back to WHERE,
+            # the ON condition is compiled whole, exactly like the seed.
+            leftover.extend((conjunct, rels)
+                            for conjunct, rels, _ in where_keys)
+            compiler = ExprCompiler(on_scope, self)
+            condition = (compiler.compile(node.condition)
+                         if node.condition is not None else None)
+            stable = (left_stable and right_stable
+                      and (condition_info is None
+                           or not (condition_info.outer
+                                   or condition_info.unknown)))
+            return FromJoinPlan(node.kind, left_plan, right_plan, condition,
+                                compiler.subplans), leftover, stable
+
+        left_key_asts = [pair[0] for pair in key_pairs]
+        right_key_asts = [pair[1] for pair in key_pairs]
+        for _conjunct, _rels, (left_ast, right_ast) in where_keys:
+            left_key_asts.append(left_ast)
+            right_key_asts.append(right_ast)
+        # WHERE-derived keys reference only this join's subtree (enforced
+        # above), so the prefix scope is valid for every expression here.
+        compiler = ExprCompiler(on_scope, self)
+        left_keys = [compiler.compile(e) for e in left_key_asts]
+        right_keys = [compiler.compile(e) for e in right_key_asts]
+        residual_ast = conjoin(residual_on)
+        residual = (compiler.compile(residual_ast)
+                    if residual_ast is not None else None)
+        kind = "inner" if node.kind == "cross" else node.kind
+        if kind == "left":
+            # The preserved side must stream so unmatched rows can be
+            # NULL-filled: always build on the nullable right side.
+            build_side = "right"
+        else:
+            build_side = ("left" if self._estimate_node(left_plan)
+                          < self._estimate_node(right_plan) else "right")
+        key_display = ", ".join(
+            f"{_display_expr(l)} = {_display_expr(r)}"
+            for l, r in zip(left_key_asts, right_key_asts))
+        # Rebuild the hash table per rescan only when the build side (or
+        # its keys) can observe the outer context.
+        build_stable, build_key_asts = (
+            (right_stable, right_key_asts) if build_side == "right"
+            else (left_stable, left_key_asts))
+        keys_correlated = any(column_bindings(ast, on_scope).outer
+                              for ast in build_key_asts)
+        rebuild = not build_stable or keys_correlated
+        plan = HashJoinPlan(kind, left_plan, right_plan, left_keys,
+                            right_keys, residual, compiler.subplans,
+                            build_side, key_display,
+                            rebuild_on_rescan=rebuild)
+        residual_info = (column_bindings(residual_ast, on_scope)
+                         if residual_ast is not None else None)
+        all_keys_local = not keys_correlated and not any(
+            column_bindings(ast, on_scope).outer
+            for ast in (left_key_asts if build_side == "right"
+                        else right_key_asts))
+        stable = (left_stable and right_stable and all_keys_local
+                  and (residual_info is None
+                       or not (residual_info.outer or residual_info.unknown)))
+        return plan, leftover, stable
+
+    def _equi_key(self, conjunct: A.Expr, left_slots: frozenset,
+                  right_slots: frozenset, scope: Scope):
+        """``(left_expr, right_expr)`` when *conjunct* is an equality whose
+        sides bind cleanly to opposite sides of the join, else None."""
+        if not (isinstance(conjunct, A.BinaryOp) and conjunct.op == "="):
+            return None
+        lb = column_bindings(conjunct.left, scope)
+        rb = column_bindings(conjunct.right, scope)
+        if lb.unknown or rb.unknown:
+            return None
+        if lb.rels and lb.rels <= left_slots \
+                and rb.rels and rb.rels <= right_slots:
+            return conjunct.left, conjunct.right
+        if lb.rels and lb.rels <= right_slots \
+                and rb.rels and rb.rels <= left_slots:
+            return conjunct.right, conjunct.left
+        return None
+
+    def _estimate_node(self, plan) -> int:
+        """Cardinality estimate for a finalized FROM subtree (heuristic
+        input to the hash-join build-side choice)."""
+        if isinstance(plan, FromLeafPlan):
+            source = plan.source
+            if isinstance(source, SeqScanPlan):
+                return self.catalog.estimate_rows(source.table_name,
+                                                  _DEFAULT_CARDINALITY)
+            return _DEFAULT_CARDINALITY
+        # Equi-join output is roughly the larger input; good enough here.
+        return max(self._estimate_node(plan.left),
+                   self._estimate_node(plan.right))
+
+    # ------------------------------------------------------------------
     # Index pushdown
     # ------------------------------------------------------------------
 
@@ -475,7 +720,7 @@ class Planner:
 
         source = leaf.source
         assert isinstance(source, SeqScanPlan)
-        conjuncts = _split_and(where)
+        conjuncts = split_conjuncts(where)
         key_columns: list[int] = []
         key_exprs = []
         residual: list[A.Expr] = []
@@ -724,11 +969,48 @@ def _flatten_union(body, op: str, cte_name: str) -> list:
     return [body]
 
 
-def _split_and(expr: A.Expr) -> list[A.Expr]:
-    """Flatten a conjunction into its top-level conjuncts."""
-    if isinstance(expr, A.BinaryOp) and expr.op == "and":
-        return _split_and(expr.left) + _split_and(expr.right)
-    return [expr]
+def _prefix_scope(scope: Scope, prefix_len: int) -> Scope:
+    """A scope exposing only the first *prefix_len* relations of *scope*.
+
+    Later relations are replaced by unresolvable placeholders so their
+    vector indices stay aligned; references to them fail name resolution at
+    plan time (like PostgreSQL's "cannot be referenced from this part of
+    the query") instead of reading unfilled slots at run time.
+    """
+    if prefix_len >= len(scope.relations):
+        return scope
+    masked = list(scope.relations[:prefix_len])
+    masked += [Relation("\x00masked", [])
+               for _ in range(len(scope.relations) - prefix_len)]
+    return Scope(masked, parent=scope.parent)
+
+
+def _collect_nullable_rels(node, out: set) -> None:
+    """Relation indices under the nullable (right) side of any LEFT JOIN in
+    the draft tree — WHERE conjuncts touching these must not be pushed
+    below the null-filling join."""
+    if isinstance(node, _JoinDraft):
+        if node.kind == "left":
+            out.update(index for index, _ in node.right.rel_slots)
+        _collect_nullable_rels(node.left, out)
+        _collect_nullable_rels(node.right, out)
+
+
+def _contains_lateral(plan) -> bool:
+    """Does this finalized FROM subtree contain a LATERAL leaf?  Those must
+    be re-evaluated per outer tick, so hash joins never cover them."""
+    if isinstance(plan, FromLeafPlan):
+        return plan.lateral
+    return _contains_lateral(plan.left) or _contains_lateral(plan.right)
+
+
+def _display_expr(expr: A.Expr) -> str:
+    """Terse rendering of a join-key expression for EXPLAIN output."""
+    if isinstance(expr, A.ColumnRef):
+        return ".".join(expr.parts)
+    if isinstance(expr, A.Literal):
+        return repr(expr.value)
+    return "<expr>"
 
 
 def _apply_column_aliases(cte_name: str, derived: list[str],

@@ -40,6 +40,10 @@ SWITCH_F_TO_Q = "switch f->Q"
 PLAN_CACHE_HIT = "plan cache hit"
 PLAN_CACHE_MISS = "plan cache miss"
 PLAN_INSTANTIATIONS = "plan instantiations"
+#: Hash-join activity: one "build" per hash table constructed (i.e. per
+#: operator open/rescan), plus the number of rows hashed into build tables.
+HASHJOIN_BUILDS = "hash join builds"
+HASHJOIN_BUILD_ROWS = "hash join build rows"
 
 
 class Profiler:

@@ -105,6 +105,16 @@ class HeapTable:
     def rows(self) -> list[tuple[Value, ...]]:
         return self._store.rows
 
+    def estimate_rows(self) -> int:
+        """Planner-facing cardinality estimate: the current heap row count.
+
+        Like PostgreSQL's ``reltuples`` this is a statistic, not a promise —
+        plans are cached by SQL text, so a plan may carry an estimate taken
+        before later DML.  Only heuristics (hash-join build-side choice) may
+        depend on it.
+        """
+        return len(self._store.rows)
+
     def column_index(self, name: str) -> int:
         try:
             return self.column_names.index(name.lower())

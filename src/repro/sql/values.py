@@ -87,19 +87,30 @@ def is_null(value: Value) -> bool:
     return value is None
 
 
+def comparison_class(value: Value) -> str:
+    """SQL comparability class: values compare only within one class.
+
+    bool is an int subclass in Python but a distinct SQL type; all numerics
+    share one class; everything else classes by Python type.  Shared by
+    ``_comparable`` and the hash-join key type check
+    (:mod:`repro.sql.executor.hashjoin`), so the two join strategies raise
+    on exactly the same operand combinations.
+    """
+    if isinstance(value, bool):
+        return "bool"
+    if isinstance(value, (int, float)):
+        return "num"
+    if isinstance(value, Row):
+        return "row"
+    if isinstance(value, list):
+        return "arr"
+    return type(value).__name__
+
+
 def _comparable(a: Value, b: Value) -> None:
     """Raise unless *a* and *b* belong to mutually comparable SQL types."""
-    numeric = (int, float)
-    if isinstance(a, bool) != isinstance(b, bool):
-        # bool is an int subclass in Python; keep booleans apart from numbers.
+    if comparison_class(a) != comparison_class(b):
         raise TypeError_(f"cannot compare {type(a).__name__} with {type(b).__name__}")
-    if isinstance(a, numeric) and isinstance(b, numeric):
-        return
-    if type(a) is type(b):
-        return
-    if isinstance(a, Row) and isinstance(b, Row):
-        return
-    raise TypeError_(f"cannot compare {type(a).__name__} with {type(b).__name__}")
 
 
 def compare(a: Value, b: Value) -> int | None:
@@ -129,6 +140,15 @@ def compare(a: Value, b: Value) -> int | None:
                 return part
         return (len(a) > len(b)) - (len(a) < len(b))
     _comparable(a, b)
+    # IEEE NaN breaks trichotomy (every ordered comparison is False, which
+    # would make NaN compare equal to everything below).  PostgreSQL orders
+    # float NaN equal to itself and greater than every other number.
+    a_nan = isinstance(a, float) and a != a
+    b_nan = isinstance(b, float) and b != b
+    if a_nan or b_nan:
+        if a_nan and b_nan:
+            return 0
+        return 1 if a_nan else -1
     if a < b:
         return -1
     if a > b:
@@ -279,3 +299,30 @@ def render_value(value: Value) -> str:
     if isinstance(value, list):
         return "{" + ",".join(render_value(v) for v in value) + "}"
     return str(value)
+
+
+def hashable_value(value: Value):
+    """A hashable stand-in for *value* preserving SQL equality classes.
+
+    Used wherever values become dict/set keys — DISTINCT, GROUP BY, and the
+    hash-join build table — so composite ROWs and arrays (unhashable as
+    Python objects) hash by content, and booleans never collide with the
+    integers they equal in Python.
+    """
+    if isinstance(value, Row):
+        return ("row",) + tuple(hashable_value(v) for v in value)
+    if isinstance(value, list):
+        return ("arr",) + tuple(hashable_value(v) for v in value)
+    if value is None:
+        return ("null",)
+    if isinstance(value, bool):
+        return ("bool", value)
+    if isinstance(value, float) and value != value:
+        # All NaNs are one equality class (see compare()); Python's
+        # NaN != NaN would otherwise split them across dict keys.
+        return ("nan",)
+    return value
+
+
+def hashable_row(row) -> tuple:
+    return tuple(hashable_value(v) for v in row)

@@ -1,0 +1,371 @@
+"""Differential testing: interpreter vs compiled, hash join vs nested loop.
+
+Inspired by coverage-driven configuration validation, this suite drives the
+same workload through two independent execution paths and asserts identical
+results:
+
+* PL/pgSQL functions executed by the interpreter *and* as the compiled
+  ``WITH RECURSIVE`` query (argument sweeps over gcd, sign, a summing loop,
+  and a bounded Collatz),
+* join queries executed by the hash-join operator *and* the seed
+  nested-loop path (inner/left/cross, NULL join keys).
+
+It also pins the two engine bugs this differential setup surfaced: the
+missing ``^`` power operator and the absent runaway-loop statement budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import compile_plsql
+from repro.sql import Database
+from repro.sql.errors import ExecutionError, ParseError
+
+
+# ---------------------------------------------------------------------------
+# Interpreted vs compiled PL/pgSQL
+# ---------------------------------------------------------------------------
+
+GCD = """
+CREATE FUNCTION gcd(a int, b int) RETURNS int AS $$
+DECLARE t int;
+BEGIN
+  WHILE b <> 0 LOOP
+    t := b;
+    b := a % b;
+    a := t;
+  END LOOP;
+  RETURN a;
+END;
+$$ LANGUAGE plpgsql"""
+
+SIGN_FN = """
+CREATE FUNCTION sign_of(n int) RETURNS int AS $$
+BEGIN
+  IF n > 0 THEN RETURN 1;
+  ELSIF n < 0 THEN RETURN -1;
+  END IF;
+  RETURN 0;
+END;
+$$ LANGUAGE plpgsql"""
+
+SUM_LOOP = """
+CREATE FUNCTION sum_to(n int) RETURNS int AS $$
+DECLARE total int := 0; i int := 1;
+BEGIN
+  WHILE i <= n LOOP
+    total := total + i;
+    i := i + 1;
+  END LOOP;
+  RETURN total;
+END;
+$$ LANGUAGE plpgsql"""
+
+COLLATZ = """
+CREATE FUNCTION collatz(n int, budget int) RETURNS int AS $$
+DECLARE steps int := 0;
+BEGIN
+  WHILE n <> 1 AND steps < budget LOOP
+    IF n % 2 = 0 THEN n := n / 2;
+    ELSE n := 3 * n + 1;
+    END IF;
+    steps := steps + 1;
+  END LOOP;
+  RETURN steps;
+END;
+$$ LANGUAGE plpgsql"""
+
+
+def _register_both(db: Database, source: str) -> str:
+    """Register *source* interpreted under its own name and compiled under
+    ``<name>_c``; return the base name."""
+    from repro.sql import ast as A
+    from repro.sql.parser import parse_statement
+
+    statement = parse_statement(source)
+    assert isinstance(statement, A.CreateFunction)
+    db.execute_ast(statement)
+    compiled = compile_plsql(source, db)
+    compiled.register(db, name=f"{statement.name}_c")
+    return statement.name
+
+
+class TestInterpreterVsCompiled:
+    @pytest.mark.parametrize("source,calls", [
+        (GCD, [(a, b) for a in (0, 1, 12, 270, 1071) for b in (0, 1, 462)]),
+        (SIGN_FN, [(n,) for n in range(-3, 4)]),
+        (SUM_LOOP, [(n,) for n in (-1, 0, 1, 2, 10, 100)]),
+        (COLLATZ, [(n, 200) for n in (1, 2, 6, 7, 27, 97)]),
+    ])
+    def test_argument_sweep_agrees(self, db, source, calls):
+        name = _register_both(db, source)
+        holes = ", ".join(f"${i + 1}" for i in range(len(calls[0])))
+        for args in calls:
+            interpreted = db.query_value(f"SELECT {name}({holes})", list(args))
+            compiled = db.query_value(f"SELECT {name}_c({holes})", list(args))
+            assert compiled == interpreted, (name, args)
+
+    def test_sweep_from_table_context(self, db):
+        """Calls evaluated per row of a query, both ways."""
+        name = _register_both(db, GCD)
+        db.execute("CREATE TABLE pairs(a int, b int)")
+        db.execute("INSERT INTO pairs VALUES (12, 18), (270, 192), (7, 13), "
+                   "(100, 75), (0, 5)")
+        interpreted = db.query_all(
+            f"SELECT a, b, {name}(a, b) FROM pairs ORDER BY a, b")
+        compiled = db.query_all(
+            f"SELECT a, b, {name}_c(a, b) FROM pairs ORDER BY a, b")
+        assert compiled == interpreted
+
+
+# ---------------------------------------------------------------------------
+# Regression: the ^ power operator
+# ---------------------------------------------------------------------------
+
+
+class TestPowerOperator:
+    def test_basic_power(self, db):
+        assert db.query_value("SELECT 2 ^ 10") == 1024.0
+        assert isinstance(db.query_value("SELECT 2 ^ 2"), float)
+
+    def test_precedence_binds_tighter_than_multiplication(self, db):
+        assert db.query_value("SELECT 2 ^ 2 * 3") == 12.0
+        assert db.query_value("SELECT 3 * 2 ^ 2") == 12.0
+
+    def test_unary_minus_binds_tighter_than_power(self, db):
+        assert db.query_value("SELECT -2 ^ 2") == 4.0
+
+    def test_left_associative(self, db):
+        assert db.query_value("SELECT 2 ^ 3 ^ 3") == 512.0
+
+    def test_fractional_and_negative_exponents(self, db):
+        assert db.query_value("SELECT 4 ^ 0.5") == 2.0
+        assert db.query_value("SELECT 2 ^ -1") == 0.5
+
+    def test_null_propagates(self, db):
+        assert db.query_value("SELECT NULL ^ 2") is None
+        assert db.query_value("SELECT 2 ^ NULL") is None
+
+    def test_error_cases(self, db):
+        with pytest.raises(ExecutionError):
+            db.query_value("SELECT 0 ^ -1")
+        with pytest.raises(ExecutionError):
+            db.query_value("SELECT (-8) ^ 0.5")
+
+    def test_usable_from_plpgsql(self, db):
+        db.execute("""CREATE FUNCTION pow2(n int) RETURNS double precision AS
+            $$ BEGIN RETURN 2 ^ n; END; $$ LANGUAGE plpgsql""")
+        assert db.query_value("SELECT pow2(8)") == 256.0
+
+    def test_lexes_as_operator_not_error(self):
+        from repro.sql.lexer import tokenize
+        tokens = tokenize("2 ^ 10")
+        assert [t.value for t in tokens[:3]] == [2, "^", 10]
+
+    def test_trailing_garbage_still_rejected(self, db):
+        with pytest.raises(ParseError):
+            db.execute("SELECT 2 ^")
+
+
+# ---------------------------------------------------------------------------
+# Regression: runaway-loop statement budget
+# ---------------------------------------------------------------------------
+
+DIVERGING = """
+CREATE FUNCTION diverge(n int) RETURNS int AS $$
+BEGIN
+  WHILE n <> 1 LOOP
+    IF n % 2 = 0 THEN n := n / 2; ELSE n := 3 * n + 1; END IF;
+  END LOOP;
+  RETURN n;
+END;
+$$ LANGUAGE plpgsql"""
+
+
+class TestStatementBudget:
+    def test_nonterminating_loop_raises_instead_of_hanging(self, db):
+        db.execute(DIVERGING)
+        db.max_interp_statements = 10_000
+        with pytest.raises(ExecutionError, match="diverge"):
+            # Collatz from 0 loops 0 -> 0 forever.
+            db.query_value("SELECT diverge(0)")
+
+    def test_error_names_the_limit(self, db):
+        db.execute(DIVERGING)
+        db.max_interp_statements = 5_000
+        with pytest.raises(ExecutionError, match="max_interp_statements=5000"):
+            db.query_value("SELECT diverge(0)")
+
+    def test_terminating_calls_unaffected(self, db):
+        db.execute(DIVERGING)
+        assert db.query_value("SELECT diverge(27)") == 1
+
+    def test_budget_is_per_activation(self, db):
+        db.execute(DIVERGING)
+        db.max_interp_statements = 2_000
+        # Many short activations must not accumulate into the budget.
+        for _ in range(5):
+            assert db.query_value("SELECT diverge(97)") == 1
+
+    def test_condition_only_loop_is_budgeted(self, db):
+        db.execute("""CREATE FUNCTION spin() RETURNS int AS $$
+            BEGIN
+              WHILE true LOOP
+              END LOOP;
+              RETURN 0;
+            END; $$ LANGUAGE plpgsql""")
+        db.max_interp_statements = 1_000
+        with pytest.raises(ExecutionError, match="spin"):
+            db.query_value("SELECT spin()")
+
+
+# ---------------------------------------------------------------------------
+# Hash join vs nested loop
+# ---------------------------------------------------------------------------
+
+
+def _join_db(hashjoin: bool) -> Database:
+    db = Database()
+    db.execute("CREATE TABLE l(id int, v text)")
+    db.execute("CREATE TABLE r(id int, w text)")
+    db.execute("INSERT INTO l VALUES (1,'a'), (2,'b'), (2,'b2'), (3,'c'), "
+               "(NULL,'ln')")
+    db.execute("INSERT INTO r VALUES (2,'R2'), (3,'R3'), (3,'R3b'), (4,'R4'), "
+               "(NULL,'rn')")
+    db.planner.enable_hashjoin = hashjoin
+    db.planner.enable_pushdown = hashjoin
+    return db
+
+
+JOIN_QUERIES = [
+    "SELECT l.v, r.w FROM l JOIN r ON l.id = r.id",
+    "SELECT l.v, r.w FROM l LEFT JOIN r ON l.id = r.id",
+    "SELECT l.v, r.w FROM l, r WHERE l.id = r.id",
+    "SELECT count(*) FROM l CROSS JOIN r",
+    "SELECT l.v, r.w FROM l LEFT JOIN r ON l.id = r.id AND r.w <> 'R3'",
+    "SELECT l.v, r.w FROM l JOIN r ON l.id = r.id WHERE l.v <> 'b' AND r.w <> 'R4'",
+    "SELECT l.v, r.w FROM l JOIN r ON l.id = r.id AND l.v < r.w",
+]
+
+
+class TestHashJoinEquivalence:
+    @pytest.mark.parametrize("sql", JOIN_QUERIES)
+    def test_hash_and_nestloop_agree(self, sql):
+        hashed = sorted(_join_db(True).query_all(sql), key=str)
+        nested = sorted(_join_db(False).query_all(sql), key=str)
+        assert hashed == nested
+
+    def test_null_keys_never_match(self):
+        for hashjoin in (True, False):
+            db = _join_db(hashjoin)
+            rows = db.query_all(
+                "SELECT l.v, r.w FROM l JOIN r ON l.id = r.id "
+                "WHERE l.v = 'ln' OR r.w = 'rn'")
+            assert rows == []
+            left = db.query_all(
+                "SELECT l.v, r.w FROM l LEFT JOIN r ON l.id = r.id "
+                "WHERE l.v = 'ln'")
+            assert left == [("ln", None)]
+
+    def test_explain_names_strategies(self):
+        db = _join_db(True)
+        assert "HashJoin" in db.explain(
+            "SELECT 1 FROM l JOIN r ON l.id = r.id")
+        non_equi = db.explain("SELECT 1 FROM l JOIN r ON l.id < r.id")
+        assert "NestLoop" in non_equi and "HashJoin" not in non_equi
+        lateral = db.explain(
+            "SELECT 1 FROM l LEFT JOIN LATERAL (SELECT w FROM r "
+            "WHERE r.id = l.id) x ON true")
+        assert "NestLoop" in lateral and "HashJoin" not in lateral
+
+    def test_pushdown_visible_in_explain(self):
+        db = _join_db(True)
+        text = db.explain("SELECT 1 FROM l JOIN r ON l.id = r.id "
+                          "WHERE l.v = 'a'")
+        assert "pushed-down filter" in text
+
+    def test_where_conjunct_on_nullable_side_not_pushed(self):
+        # WHERE over a LEFT JOIN's right side must see NULL-filled rows.
+        for hashjoin in (True, False):
+            db = _join_db(hashjoin)
+            rows = db.query_all(
+                "SELECT l.v FROM l LEFT JOIN r ON l.id = r.id "
+                "WHERE r.w IS NULL ORDER BY l.v")
+            assert rows == [("a",), ("ln",)]
+
+    def test_build_side_follows_estimates(self):
+        db = Database()
+        db.execute("CREATE TABLE small(id int)")
+        db.execute("CREATE TABLE big(id int)")
+        db.execute("INSERT INTO small VALUES (1), (2)")
+        db.execute("INSERT INTO big " + " UNION ALL ".join(
+            f"SELECT {i}" for i in range(50)))
+        assert "[build=left]" in db.explain(
+            "SELECT 1 FROM small JOIN big ON small.id = big.id")
+        assert "[build=right]" in db.explain(
+            "SELECT 1 FROM big JOIN small ON small.id = big.id")
+
+    def test_profiler_counts_builds(self):
+        db = _join_db(True)
+        db.query_all("SELECT 1 FROM l JOIN r ON l.id = r.id")
+        assert db.profiler.counts["hash join builds"] == 1
+        assert db.profiler.counts["hash join build rows"] == 4
+
+    def test_on_condition_cannot_reference_later_from_items(self):
+        """Forward references in ON fail at plan time (as PostgreSQL and
+        the seed planner do) instead of reading unfilled slots."""
+        from repro.sql.errors import NameResolutionError
+        db = _join_db(True)
+        db.execute("CREATE TABLE c(id int)")
+        db.execute("INSERT INTO c VALUES (2)")
+        with pytest.raises(NameResolutionError):
+            db.query_all("SELECT 1 FROM l JOIN r ON l.id = c.id, c")
+        # Back-references from a parenthesized subtree keep working: the
+        # ON condition only constrains l, so both l rows with id = 2 pair
+        # with every r row.
+        query = "SELECT count(*) FROM c, (l JOIN r ON l.id = c.id)"
+        assert db.query_all(query) == [(10,)]
+        nested = _join_db(False)
+        nested.execute("CREATE TABLE c(id int)")
+        nested.execute("INSERT INTO c VALUES (2)")
+        assert nested.query_all(query) == [(10,)]
+
+    def test_volatile_conjuncts_are_not_pushed(self):
+        """random() in WHERE must evaluate once per joined row under both
+        strategies, so pushdown may not move it."""
+        results = []
+        for hashjoin in (True, False):
+            db = Database(seed=7)
+            db.execute("CREATE TABLE a(x int)")
+            db.execute("CREATE TABLE b(y int)")
+            db.execute("INSERT INTO a VALUES (1), (2), (3)")
+            db.execute("INSERT INTO b VALUES (1), (2), (3)")
+            db.planner.enable_hashjoin = hashjoin
+            db.planner.enable_pushdown = hashjoin
+            db.reseed(7)
+            results.append(db.query_value(
+                "SELECT count(*) FROM a, b WHERE a.x > random() * 2"))
+        assert results[0] == results[1]
+
+    def test_incomparable_key_types_raise_like_nested_loop(self):
+        from repro.sql.errors import TypeError_
+        for hashjoin in (True, False):
+            db = Database()
+            db.execute("CREATE TABLE a(x int)")
+            db.execute("CREATE TABLE t(s text)")
+            db.execute("INSERT INTO a VALUES (1)")
+            db.execute("INSERT INTO t VALUES ('1')")
+            db.planner.enable_hashjoin = hashjoin
+            with pytest.raises(TypeError_):
+                db.query_all("SELECT * FROM a JOIN t ON a.x = t.s")
+
+
+class TestPowerOperatorEdgeValues:
+    def test_infinite_exponent_takes_ieee_semantics(self, db):
+        assert db.query_value("SELECT (-2.0) ^ (1e308 * 10)") == float("inf")
+
+    def test_nan_exponent_propagates(self, db):
+        import math
+        value = db.query_value("SELECT 2 ^ (1e308 * 10 - 1e308 * 10)")
+        assert math.isnan(value)
