@@ -48,7 +48,18 @@ def inline_into_query(sql: str,
                       dialect: Union[str, Dialect] = POSTGRES) -> str:
     """Inline one or more compiled functions into query text and re-render.
 
-    >>> # doctest setup omitted; see examples/quickstart.py
+    >>> from repro.sql import Database
+    >>> from repro.compiler import compile_plsql
+    >>> doubled = compile_plsql('''
+    ...     CREATE FUNCTION double(n int) RETURNS int AS $$
+    ...     BEGIN RETURN 2 * n; END;
+    ...     $$ LANGUAGE PLPGSQL''', Database())
+    >>> inline_into_query("SELECT double(21) AS x", doubled)
+    'SELECT (SELECT (2 * 21)) AS x'
+
+    A loop-free function inlines as a plain expression (Froid); recursive
+    functions splice in their whole ``WITH RECURSIVE`` query Qf, so the
+    merged text contains no trace of PL/SQL either way.
     """
     if isinstance(compiled, CompiledFunction):
         compiled = [compiled]

@@ -27,6 +27,8 @@ table behaviour differs.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 from ..sql import ast as A
 from ..sql.errors import CompileError
 from .anf import AnfCall
@@ -35,10 +37,20 @@ from .udf import LET_STYLE_LATERAL, SqlUdf, translate_anf, udf_is_recursive
 
 RUN_ALIAS = "r"
 CALL_COLUMN = "call?"
+#: The batched template's caller row-key column and batch-input names.
+BATCH_KEY = "k"
+BATCH_ALIAS = "b"
+BATCH_TABLE = "__batch_input"
 
 
 def run_columns(udf: SqlUdf) -> list[str]:
     return [CALL_COLUMN] + udf.rec_params + ["result"]
+
+
+def batch_input_columns(udf: SqlUdf) -> list[str]:
+    """Schema of the batch-input relation feeding the batched template:
+    one caller row key plus one column per UDF parameter."""
+    return [BATCH_KEY] + [p.lower() for p in udf.params]
 
 
 def _call_row(udf: SqlUdf, call: AnfCall) -> A.Expr:
@@ -109,6 +121,45 @@ def _assert_not_volatile(udf: SqlUdf) -> None:
         check(func.body)
 
 
+def _split_column_exprs(udf: SqlUdf, body, binder) -> list[A.Expr]:
+    """One independent scalar expression per run column (split rewrite)."""
+    columns = run_columns(udf)
+    out = []
+    for index in range(len(columns)):
+        def on_tail(tail, index=index):
+            from .anf import AnfCall
+            row = (_call_row(udf, tail) if isinstance(tail, AnfCall)
+                   else _result_row(udf, tail.expr))
+            return row.items[index]
+
+        expr = _translate_substituted(body, on_tail)
+        out.append(rename_variables(expr, binder))
+    return out
+
+
+def _split_rec_items(udf: SqlUdf) -> list[A.SelectItem]:
+    """The recursive term's run-column items, dispatched per ANF function
+    over ``r.fn`` (split rewrite counterpart of :func:`_dispatch_body`)."""
+    columns = run_columns(udf)
+    exprs_per_function = []
+    for func in udf.anf.recursive_functions():
+        condition = A.BinaryOp("=", A.ColumnRef((RUN_ALIAS, "fn")),
+                               A.Literal(udf.labels[func.name]))
+        # Bind only this function's own parameters (see _dispatch_body).
+        own = {name: A.ColumnRef((RUN_ALIAS, name)) for name in func.params}
+        exprs_per_function.append(
+            (condition, _split_column_exprs(udf, func.body,
+                                            lambda n: own.get(n))))
+    rec_items = []
+    for index in range(len(columns)):
+        branches = [(condition, exprs[index])
+                    for condition, exprs in exprs_per_function]
+        expr = (branches[0][1] if len(branches) == 1
+                else A.CaseExpr(None, branches[:-1], branches[-1][1]))
+        rec_items.append(A.SelectItem(expr, alias=columns[index]))
+    return rec_items
+
+
 def build_split_template_query(udf: SqlUdf, iterate: bool = False) -> A.SelectStmt:
     """The Figure 8 template without any LATERAL: each run column is an
     independent scalar expression (SQLite-compatible rewrite)."""
@@ -120,43 +171,13 @@ def build_split_template_query(udf: SqlUdf, iterate: bool = False) -> A.SelectSt
     param_map = {name: A.Param(index + 1)
                  for index, name in enumerate(udf.params)}
 
-    def column_exprs(body, binder) -> list[A.Expr]:
-        out = []
-        for index in range(len(columns)):
-            def on_tail(tail, index=index):
-                from .anf import AnfCall
-                row = (_call_row(udf, tail) if isinstance(tail, AnfCall)
-                       else _result_row(udf, tail.expr))
-                return row.items[index]
-
-            expr = _translate_substituted(body, on_tail)
-            out.append(rename_variables(expr, binder))
-        return out
-
     entry = anf.functions[anf.entry]
     base_core = A.SelectCore(items=[
         A.SelectItem(e, alias=columns[i]) for i, e in enumerate(
-            column_exprs(entry.body, lambda n: param_map.get(n)))])
+            _split_column_exprs(udf, entry.body, lambda n: param_map.get(n)))])
 
-    whens_per_function = [(func, A.BinaryOp("=", A.ColumnRef((RUN_ALIAS, "fn")),
-                                            A.Literal(udf.labels[func.name])))
-                          for func in anf.recursive_functions()]
-
-    exprs_per_function = []
-    for func, condition in whens_per_function:
-        # Bind only this function's own parameters (see _dispatch_body).
-        own = {name: A.ColumnRef((RUN_ALIAS, name)) for name in func.params}
-        exprs_per_function.append(
-            (condition, column_exprs(func.body, lambda n: own.get(n))))
-    rec_items = []
-    for index in range(len(columns)):
-        branches = [(condition, exprs[index])
-                    for condition, exprs in exprs_per_function]
-        expr = (branches[0][1] if len(branches) == 1
-                else A.CaseExpr(None, branches[:-1], branches[-1][1]))
-        rec_items.append(A.SelectItem(expr, alias=columns[index]))
     rec_core = A.SelectCore(
-        items=rec_items,
+        items=_split_rec_items(udf),
         from_clause=A.TableName("run", alias=RUN_ALIAS),
         where=A.ColumnRef((RUN_ALIAS, CALL_COLUMN)))
 
@@ -169,6 +190,102 @@ def build_split_template_query(udf: SqlUdf, iterate: bool = False) -> A.SelectSt
         where=A.UnaryOp("not", A.ColumnRef((RUN_ALIAS, CALL_COLUMN))))
     return A.SelectStmt(A.WithClause(recursive=True, ctes=[cte],
                                      iterate=iterate), final_core)
+
+
+def udf_contains_volatile(udf: SqlUdf) -> bool:
+    """Does any expression anywhere in the UDF call a volatile function?
+
+    Batched (set-oriented) execution interleaves the machine steps of many
+    caller rows in one trampoline, which reorders volatile draws relative
+    to the one-call-at-a-time scalar path; such functions therefore stay on
+    the scalar path entirely.
+    """
+    from .anf import AnfCall, AnfIf, AnfLet, AnfRet
+    from .optimize import expr_is_volatile
+
+    def check(expr) -> bool:
+        if isinstance(expr, AnfLet):
+            return expr_is_volatile(expr.value) or check(expr.body)
+        if isinstance(expr, AnfIf):
+            return (expr_is_volatile(expr.condition)
+                    or check(expr.then_branch) or check(expr.else_branch))
+        if isinstance(expr, AnfRet):
+            return expr_is_volatile(expr.expr)
+        if isinstance(expr, AnfCall):
+            return any(expr_is_volatile(a) for a in expr.args)
+        raise CompileError(f"unknown ANF node {type(expr).__name__}")
+
+    return any(check(func.body) for func in udf.anf.functions.values())
+
+
+def build_batched_template_query(udf: SqlUdf,
+                                 batch_table: str = BATCH_TABLE) -> A.SelectStmt:
+    """The set-oriented Qf: one trampoline advancing *all* pending calls.
+
+    The scalar template (Fig. 8) simulates one activation of ``f*``; applied
+    per caller row it re-runs the whole recursive CTE N times.  The batched
+    variant instead seeds the working set from a *batch-input* relation
+    ``__batch_input(k, <params...>)`` — one machine state per caller row,
+    tagged with the caller's row key ``k`` — and carries ``k`` through every
+    step, so a single ``WITH RECURSIVE`` evaluation advances every pending
+    call in lock-step::
+
+        WITH RECURSIVE run(k, "call?", fn, <vars...>, result) AS (
+          SELECT b.k, <adapted main>            -- one seed per caller row
+          FROM __batch_input AS b
+          UNION ALL
+          SELECT r.k, <adapted body>            -- all pending calls advance
+          FROM run AS r WHERE r."call?"
+        )
+        SELECT r.k, r.result FROM run AS r WHERE NOT r."call?"
+
+    The run columns use the LATERAL-free split rewrite (each column an
+    independent scalar expression) so a step over N machine states is N
+    plain expression evaluations instead of N lateral subquery rescans.
+    ``WITH ITERATE`` is never used here: callers finish at different steps,
+    and ITERATE would drop every result produced before the last one.
+    """
+    if not udf_is_recursive(udf):
+        raise CompileError("the batched template requires a recursive UDF; "
+                           "loop-free functions inline as plain expressions")
+    _assert_not_volatile(udf)
+    columns = run_columns(udf)
+    anf = udf.anf
+    # SSA names always carry a version suffix ("x_1"), so the bare batch
+    # key cannot collide with machine-state columns.
+    assert BATCH_KEY not in columns
+
+    param_map = {name: A.ColumnRef((BATCH_ALIAS, name.lower()))
+                 for name in udf.params}
+    entry = anf.functions[anf.entry]
+    base_items = [A.SelectItem(A.ColumnRef((BATCH_ALIAS, BATCH_KEY)),
+                               alias=BATCH_KEY)]
+    base_items.extend(
+        A.SelectItem(e, alias=columns[i]) for i, e in enumerate(
+            _split_column_exprs(udf, entry.body, lambda n: param_map.get(n))))
+    base_core = A.SelectCore(
+        items=base_items,
+        from_clause=A.TableName(batch_table, alias=BATCH_ALIAS))
+
+    rec_items = [A.SelectItem(A.ColumnRef((RUN_ALIAS, BATCH_KEY)),
+                              alias=BATCH_KEY)]
+    rec_items.extend(_split_rec_items(udf))
+    rec_core = A.SelectCore(
+        items=rec_items,
+        from_clause=A.TableName("run", alias=RUN_ALIAS),
+        where=A.ColumnRef((RUN_ALIAS, CALL_COLUMN)))
+
+    cte = A.CommonTableExpr(
+        "run", [BATCH_KEY] + list(columns),
+        A.SelectStmt(None, A.SetOp("union_all", base_core, rec_core)))
+    final_core = A.SelectCore(
+        items=[A.SelectItem(A.ColumnRef((RUN_ALIAS, BATCH_KEY)),
+                            alias=BATCH_KEY),
+               A.SelectItem(A.ColumnRef((RUN_ALIAS, "result")),
+                            alias="result")],
+        from_clause=A.TableName("run", alias=RUN_ALIAS),
+        where=A.UnaryOp("not", A.ColumnRef((RUN_ALIAS, CALL_COLUMN))))
+    return A.SelectStmt(A.WithClause(recursive=True, ctes=[cte]), final_core)
 
 
 def build_template_query(udf: SqlUdf, iterate: bool = False,
@@ -259,6 +376,115 @@ def _dispatch_body(udf: SqlUdf, let_style: str) -> A.Expr:
     if len(whens) == 1:
         return whens[0][1]
     return A.CaseExpr(None, whens[:-1], whens[-1][1])
+
+
+# ---------------------------------------------------------------------------
+# The machine form of the batched template
+# ---------------------------------------------------------------------------
+#
+# The batched Qf above *spells* a state machine in SQL: every run row is a
+# machine state ``(fn, <vars...>)`` and the recursive term is its transition
+# function.  The engine's BatchedUdf operator can evaluate that machine
+# directly — compiled condition/argument expressions over the working set,
+# no generic operator overhead per step — exactly as WITH ITERATE is an
+# engine-side evaluation strategy for the same template.  The structures
+# below are that machine, handed to the engine alongside the SQL form
+# (``planner.batch_strategy`` picks which one runs; both must agree).
+
+
+@dataclass
+class MachineLet:
+    """Bind *var* to *value* for *body* — the template's LATERAL binding,
+    evaluated exactly once per step (no substitution duplication)."""
+
+    var: str
+    value: A.Expr
+    body: object
+
+
+@dataclass
+class MachineIf:
+    """Branch on *condition* (an SQL expression over the state columns)."""
+
+    condition: A.Expr
+    then_node: object
+    else_node: object
+
+
+@dataclass
+class MachineCall:
+    """Tail call: the next state is ``(label, <args...>)``."""
+
+    label: int
+    args: list  # one A.Expr per state variable column (rec_params[1:])
+
+
+@dataclass
+class MachineResult:
+    """Base case: the activation finishes with *value*."""
+
+    value: A.Expr
+
+
+@dataclass
+class BatchedMachine:
+    """The batched template's trampoline as explicit transition rules.
+
+    ``base`` is evaluated over one row of ``(param_columns)`` per caller;
+    ``transitions[label]`` over one state row of ``(state_columns)``, where
+    only the columns in ``own_params[label]`` carry that rule's meaningful
+    values (the rest are another rule's slots — see
+    :func:`_dispatch_body`'s per-function binding note).  Expressions
+    reference variables as bare SSA names, resolved against those columns
+    plus any enclosing :class:`MachineLet` bindings.
+    """
+
+    param_columns: list[str]
+    state_columns: list[str]          # ["fn"] + machine variables
+    own_params: dict[int, frozenset]  # label -> that rule's live columns
+    base: object = field(repr=False)  # type: ignore[assignment]
+    transitions: dict[int, object] = field(repr=False)  # type: ignore[assignment]
+
+
+def build_batched_machine(udf: SqlUdf) -> BatchedMachine:
+    """Derive the transition rules of the batched template from the ANF."""
+    if not udf_is_recursive(udf):
+        raise CompileError("the machine form requires a recursive UDF")
+    _assert_not_volatile(udf)
+    anf = udf.anf
+    state_vars = udf.rec_params[1:]  # "fn" is the dispatch slot
+
+    def node(expr):
+        from .anf import AnfIf, AnfLet, AnfRet
+
+        if isinstance(expr, AnfLet):
+            return MachineLet(expr.var, expr.value, node(expr.body))
+        if isinstance(expr, AnfIf):
+            return MachineIf(expr.condition, node(expr.then_branch),
+                             node(expr.else_branch))
+        if isinstance(expr, AnfCall):
+            target = anf.functions.get(expr.func)
+            if target is None:
+                raise CompileError(f"call to unknown function {expr.func!r}")
+            by_param = dict(zip(target.params, expr.args))
+            args = [by_param.get(p, A.Literal(None)) for p in state_vars]
+            return MachineCall(udf.labels[expr.func], args)
+        if isinstance(expr, AnfRet):
+            return MachineResult(expr.expr)
+        raise CompileError(f"unknown ANF node {type(expr).__name__}")
+
+    transitions = {}
+    own_params = {}
+    for func in anf.recursive_functions():
+        label = udf.labels[func.name]
+        transitions[label] = node(func.body)
+        own_params[label] = frozenset(p.lower() for p in func.params)
+    return BatchedMachine(
+        param_columns=[p.lower() for p in udf.params],
+        state_columns=[p.lower() for p in udf.rec_params],
+        own_params=own_params,
+        base=node(anf.functions[anf.entry].body),
+        transitions=transitions)
 
 
 def _scalar_stmt(expr: A.Expr) -> A.SelectStmt:

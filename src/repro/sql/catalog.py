@@ -46,8 +46,23 @@ class FunctionDef:
     impl: Optional[Callable] = None
     body: Optional[str] = None
     query: Optional[A.SelectStmt] = None
+    #: Set-oriented variant of ``query`` for compiled functions: a batched
+    #: Qf reading its arguments from a ``__batch_input(k, <params>)``
+    #: relation so the planner can advance a whole relation of calls in one
+    #: trampoline (see repro.compiler.template.build_batched_template_query).
+    #: None when the function is loop-free or volatile — those stay on the
+    #: per-row scalar path.
+    batched_query: Optional[A.SelectStmt] = None
+    batch_columns: list[str] = field(default_factory=list)
+    #: The same trampoline as explicit transition rules (the batched
+    #: template's machine form; repro.compiler.template.BatchedMachine).
+    #: The BatchedUdf operator's default strategy evaluates this directly.
+    batch_machine: object = None
     # Caches populated by front ends on first use:
     parsed_body: object = None
+    #: Plan-time cache for the batched query: ``(batch CteDef, Plan)``,
+    #: shared across call sites and reset by Database.clear_plan_cache().
+    batched_plan: object = None
 
     @property
     def arity(self) -> int:

@@ -69,8 +69,8 @@ class Database:
     """An in-memory relational database with PL/pgSQL support.
 
     >>> db = Database()
-    >>> db.execute("CREATE TABLE t(x int)")
-    >>> db.execute("INSERT INTO t VALUES (1), (2)")
+    >>> _ = db.execute("CREATE TABLE t(x int)")
+    >>> _ = db.execute("INSERT INTO t VALUES (1), (2)")
     >>> db.execute("SELECT sum(x) FROM t").scalar()
     3
     """
@@ -172,6 +172,7 @@ class Database:
         self._plan_cache.clear()
         for fdef in self.catalog.functions.values():
             fdef.parsed_body = None
+            fdef.batched_plan = None
 
     # ------------------------------------------------------------------
     # Planning and running SELECTs
@@ -241,9 +242,16 @@ class Database:
             return self._call_sql_function(fdef, args)
         if fdef.kind == "compiled":
             # Not inlined (planner.inline_compiled off, or dynamic call):
-            # run the stored query with the arguments as parameters.
-            with self.profiler.phase(PLAN):
-                plan = self.planner.plan_select(fdef.query)
+            # run the stored query with the arguments as parameters.  The
+            # plan is cached on the FunctionDef (invalidated together with
+            # the statement plan cache) — Qf never changes between calls,
+            # so re-planning it per invocation was pure overhead.
+            plan = fdef.parsed_body
+            if plan is None:
+                with self.profiler.phase(PLAN):
+                    plan = self.planner.plan_select(fdef.query)
+                if self.plan_cache_enabled:
+                    fdef.parsed_body = plan
             return self._run_plan(plan, args).scalar()
         raise ExecutionError(f"unknown function kind {fdef.kind!r}")
 
@@ -293,16 +301,27 @@ class Database:
 
     def register_compiled_function(self, name: str, param_names: list[str],
                                    param_types: list[str], return_type: str,
-                                   query: A.SelectStmt) -> FunctionDef:
+                                   query: A.SelectStmt,
+                                   batched_query: Optional[A.SelectStmt] = None,
+                                   batch_columns: Optional[list[str]] = None,
+                                   batch_machine: object = None,
+                                   ) -> FunctionDef:
         """Register the pure-SQL query produced by the compiler as *name*.
 
         Subsequent queries calling ``name(...)`` get the query inlined at
-        plan time (replacing any previous PL/pgSQL definition).
+        plan time (replacing any previous PL/pgSQL definition).  When
+        *batched_query* is supplied (see
+        :func:`repro.compiler.template.build_batched_template_query`), the
+        planner may evaluate whole relations of calls through one
+        set-oriented trampoline instead of one scalar subquery per row.
         """
         fdef = FunctionDef(name=name.lower(), kind="compiled",
                            param_names=list(param_names),
                            param_types=list(param_types),
-                           return_type=return_type, query=query)
+                           return_type=return_type, query=query,
+                           batched_query=batched_query,
+                           batch_columns=list(batch_columns or []),
+                           batch_machine=batch_machine)
         self.catalog.register_function(fdef, replace=True)
         self.clear_plan_cache()
         return fdef

@@ -24,9 +24,41 @@ from __future__ import annotations
 from typing import Optional
 
 from ..errors import ExecutionError, PlanError
+from ..profiler import (RECURSION_DEDUP_DROPPED, TRAMPOLINE_ITERATIONS,
+                        TRAMPOLINE_WORKING_ROWS)
 from ..storage import TupleStore
 from .base import Plan, PlanState
 from ..values import hashable_row as _hashable_row
+
+
+class WorkingSetDedup:
+    """Hash-based dedup for ``UNION`` (not ALL) recursion.
+
+    A row may enter the union trace — and therefore the working set — only
+    once over the whole evaluation; rows re-derived in a later step are
+    dropped in O(1) via a hash set over their hashable form.  This is what
+    terminates cyclic traversals (the paper's graph workload): without it a
+    cycle re-derives the same rows forever.
+    """
+
+    __slots__ = ("seen", "dropped")
+
+    def __init__(self):
+        self.seen: set = set()
+        self.dropped = 0
+
+    def fresh(self, rows: list[tuple]) -> list[tuple]:
+        """The not-yet-seen subset of *rows* (marking them seen)."""
+        out = []
+        seen = self.seen
+        for row in rows:
+            key = _hashable_row(row)
+            if key not in seen:
+                seen.add(key)
+                out.append(row)
+            else:
+                self.dropped += 1
+        return out
 
 
 class CteDef:
@@ -125,19 +157,14 @@ class CteRuntime:
 
     def _materialize_recursive(self) -> list[tuple]:
         cte = self.cte_def
+        profiler = self.rt.db.profiler
         assert self.base_state is not None and self.rec_state is not None
         self.base_state.open(self.outer)
         working = self.base_state.fetch_all()
-        seen: Optional[set] = None
+        dedup: Optional[WorkingSetDedup] = None
         if not cte.union_all:
-            seen = set()
-            deduped = []
-            for row in working:
-                key = _hashable_row(row)
-                if key not in seen:
-                    seen.add(key)
-                    deduped.append(row)
-            working = deduped
+            dedup = WorkingSetDedup()
+            working = dedup.fresh(working)
         iterate = cte.iterate
         # The union trace is what WITH RECURSIVE spills; WITH ITERATE keeps
         # only the newest step and therefore writes no pages at all.
@@ -153,6 +180,8 @@ class CteRuntime:
                 raise ExecutionError(
                     f"recursive CTE {cte.name!r} exceeded "
                     f"{limit} iterations (possible infinite recursion)")
+            profiler.bump(TRAMPOLINE_ITERATIONS)
+            profiler.bump(TRAMPOLINE_WORKING_ROWS, len(working))
             self.working = working
             self.in_recursion = True
             try:
@@ -160,14 +189,10 @@ class CteRuntime:
                 new_rows = self.rec_state.fetch_all()
             finally:
                 self.in_recursion = False
-            if seen is not None:
-                fresh = []
-                for row in new_rows:
-                    key = _hashable_row(row)
-                    if key not in seen:
-                        seen.add(key)
-                        fresh.append(row)
-                new_rows = fresh
+            if dedup is not None:
+                before = dedup.dropped
+                new_rows = dedup.fresh(new_rows)
+                profiler.bump(RECURSION_DEDUP_DROPPED, dedup.dropped - before)
             if trace is not None:
                 trace.extend(new_rows)
             if new_rows:

@@ -266,17 +266,33 @@ class ExprCompiler:
         arith = _ARITH_FNS.get(op)
         if arith is None:
             raise PlanError(f"unknown binary operator {op!r}")
+        fast = _INT_FAST_FNS.get(op)
+        if fast is None:
+            def run_arith(ctx: EvalContext):
+                a = left(ctx)
+                if a is None:
+                    return None
+                b = right(ctx)
+                if b is None:
+                    return None
+                return arith(a, b)
 
-        def run_arith(ctx: EvalContext):
+            return run_arith
+
+        def run_arith_fast(ctx: EvalContext):
             a = left(ctx)
             if a is None:
                 return None
             b = right(ctx)
             if b is None:
                 return None
+            if type(a) is int and type(b) is int:
+                # Exact-int fast path (bool is excluded by ``type() is``);
+                # / and % keep their SQL division/sign semantics helpers.
+                return fast(a, b)
             return arith(a, b)
 
-        return run_arith
+        return run_arith_fast
 
     def _compile_UnaryOp(self, expr: A.UnaryOp) -> CompiledExpr:
         operand = self.compile(expr.operand)
@@ -509,7 +525,15 @@ class ExprCompiler:
     def _plan_subquery(self, query: A.SelectStmt) -> "Plan":
         if self.planner is None:
             raise PlanError("subqueries are not allowed in this context")
-        return self.planner.plan_select(query, outer_scope=self.scope)
+        # Expression subqueries (EXISTS / IN / scalar) stop pulling rows
+        # early, so everything planned beneath them must stay lazily
+        # evaluated — the planner declines eager compiled-UDF batching
+        # while this depth is nonzero.
+        self.planner.expr_subquery_depth += 1
+        try:
+            return self.planner.plan_select(query, outer_scope=self.scope)
+        finally:
+            self.planner.expr_subquery_depth -= 1
 
     def _subplan_runner(self, query: A.SelectStmt):
         """Return ``run(ctx) -> PlanState`` fetching the pre-instantiated
@@ -612,25 +636,37 @@ def _mul(a, b):
     return a * b
 
 
-def _div(a, b):
-    _check_number(a), _check_number(b)
+def _int_div(a: int, b: int) -> int:
     if b == 0:
         raise ExecutionError("division by zero")
+    # PostgreSQL integer division truncates toward zero.
+    quotient = abs(a) // abs(b)
+    return quotient if (a >= 0) == (b >= 0) else -quotient
+
+
+def _int_mod(a: int, b: int) -> int:
+    if b == 0:
+        raise ExecutionError("division by zero")
+    # Sign follows the dividend (PostgreSQL semantics).
+    remainder = abs(a) % abs(b)
+    return remainder if a >= 0 else -remainder
+
+
+def _div(a, b):
+    _check_number(a), _check_number(b)
     if isinstance(a, int) and isinstance(b, int):
-        # PostgreSQL integer division truncates toward zero.
-        quotient = abs(a) // abs(b)
-        return quotient if (a >= 0) == (b >= 0) else -quotient
+        return _int_div(a, b)
+    if b == 0:
+        raise ExecutionError("division by zero")
     return a / b
 
 
 def _mod(a, b):
     _check_number(a), _check_number(b)
+    if isinstance(a, int) and isinstance(b, int):
+        return _int_mod(a, b)
     if b == 0:
         raise ExecutionError("division by zero")
-    if isinstance(a, int) and isinstance(b, int):
-        # Sign follows the dividend (PostgreSQL semantics).
-        remainder = abs(a) % abs(b)
-        return remainder if a >= 0 else -remainder
     import math
     return math.fmod(a, b)
 
@@ -655,6 +691,11 @@ def _pow(a, b):
 
 _ARITH_FNS = {"+": _add, "-": _sub, "*": _mul, "/": _div, "%": _mod,
               "^": _pow}
+
+#: Exact-int shortcuts taken by ``run_arith`` (``^`` stays on the generic
+#: path: SQL power always yields double precision).
+_INT_FAST_FNS = {"+": lambda a, b: a + b, "-": lambda a, b: a - b,
+                 "*": lambda a, b: a * b, "/": _int_div, "%": _int_mod}
 
 
 def _concat(a: Value, b: Value) -> Value:

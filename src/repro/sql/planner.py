@@ -29,6 +29,8 @@ from .astutil import (column_bindings, conjoin, contains_aggregate,
 from .errors import NameResolutionError, PlanError
 from .expr import ExprCompiler, Relation, Scope
 from .executor.base import Plan
+from .executor.batched_udf import (BatchedUdfStagePlan, SqlCallPlan,
+                                   compile_machine)
 from .executor.fromtree import FromJoinPlan, FromLeafPlan, FromNodePlan
 from .executor.hashjoin import HashJoinPlan
 from .executor.recursion import CteDef, CTEScanPlan, SelectStmtPlan
@@ -106,7 +108,29 @@ class Planner:
         #: Push single-relation WHERE conjuncts down to the scans that bind
         #: them, and promote cross-join equality conjuncts to join keys.
         self.enable_pushdown = True
+        #: Evaluate select-list calls to compiled functions set-oriented:
+        #: one batched trampoline per call site over all surviving rows
+        #: (executor/batched_udf.py) instead of one correlated scalar
+        #: subquery per row.  Volatile arguments, volatile bodies, and
+        #: loop-free functions always keep the scalar path.
+        self.batch_compiled = True
+        #: How the BatchedUdf operator evaluates the trampoline:
+        #: "machine" runs the batched template's transition rules as
+        #: compiled closures over the working set; "sql" plans the batched
+        #: Qf and runs it through the generic recursive-CTE executor.
+        #: Both produce identical results (differentially tested).
+        self.batch_strategy = "machine"
+        #: Share one trampoline activation between rows with identical
+        #: argument vectors (sound: batching requires non-volatile
+        #: functions).  Turn off to measure the raw trampoline.
+        self.batch_dedup = True
         self._cte_env: Optional[CteEnv] = None
+        #: Nesting depth of expression subqueries (EXISTS / IN / scalar)
+        #: currently being planned.  Those consumers stop pulling rows
+        #: early, so eager batching inside them could evaluate calls the
+        #: lazy scalar path never reaches (see _plan_query_tail's LIMIT
+        #: note); ExprCompiler._plan_subquery maintains the counter.
+        self.expr_subquery_depth = 0
 
     @property
     def catalog(self):
@@ -142,10 +166,19 @@ class Planner:
                          outer_scope: Optional[Scope]) -> Plan:
         """Plan body + ORDER BY + LIMIT (CTE env already in effect)."""
         body = stmt.body
+        # A streaming LIMIT/OFFSET (no ORDER BY) may legitimately never
+        # evaluate the tail rows' expressions; batching is eager over all
+        # surviving rows, so those statements keep the lazy scalar path.
+        # With ORDER BY the sort materializes every projected row anyway,
+        # so batching there changes nothing observable.
+        limited = stmt.limit is not None or stmt.offset is not None
+        allow_batch = not limited or bool(stmt.order_by)
         if isinstance(body, A.SelectCore):
-            plan = self._plan_core(body, outer_scope, stmt.order_by)
+            plan = self._plan_core(body, outer_scope, stmt.order_by,
+                                   allow_batch=allow_batch)
         else:
-            plan = self._plan_set_body(body, outer_scope)
+            plan = self._plan_set_body(body, outer_scope,
+                                       allow_batch=allow_batch)
             if stmt.order_by:
                 plan = self._sort_set_output(plan, stmt.order_by)
         if stmt.limit is not None or stmt.offset is not None:
@@ -156,14 +189,16 @@ class Planner:
             plan = LimitPlan(plan, limit, offset, compiler.subplans)
         return plan
 
-    def _plan_set_body(self, body, outer_scope: Optional[Scope]) -> Plan:
+    def _plan_set_body(self, body, outer_scope: Optional[Scope],
+                       allow_batch: bool = True) -> Plan:
         if isinstance(body, A.SelectCore):
-            return self._plan_core(body, outer_scope, [])
+            return self._plan_core(body, outer_scope, [],
+                                   allow_batch=allow_batch)
         if isinstance(body, A.ValuesClause):
             return self._plan_values(body, outer_scope)
         if isinstance(body, A.SetOp):
-            left = self._plan_set_body(body.left, outer_scope)
-            right = self._plan_set_body(body.right, outer_scope)
+            left = self._plan_set_body(body.left, outer_scope, allow_batch)
+            right = self._plan_set_body(body.right, outer_scope, allow_batch)
             if left.width != right.width:
                 raise PlanError(
                     f"set operation arms have different widths "
@@ -282,7 +317,8 @@ class Planner:
     # ------------------------------------------------------------------
 
     def _plan_core(self, core: A.SelectCore, outer_scope: Optional[Scope],
-                   order_by: list[A.SortItem]) -> Plan:
+                   order_by: list[A.SortItem],
+                   allow_batch: bool = True) -> Plan:
         relations: list[Relation] = []
         from_node = None
         if core.from_clause is not None:
@@ -342,6 +378,18 @@ class Planner:
             window_stage, item_exprs, current_scope = self._plan_windows(
                 core, current_scope, outer_scope, item_exprs, agg_rewrite)
 
+        # Set-oriented compiled-UDF calls ---------------------------------
+        # Only calls over a FROM clause batch: a table-less SELECT is a
+        # single activation, and several paper artifacts (Table 2's page
+        # writes, the ITERATE ablation) measure exactly the generic
+        # recursive-CTE behaviour of that scalar form.
+        batch_stage: Optional[BatchedUdfStagePlan] = None
+        if allow_batch and self.expr_subquery_depth == 0 \
+                and self.batch_compiled and self.inline_compiled \
+                and from_plan is not None:
+            batch_stage, item_exprs, current_scope = self._plan_batched_udfs(
+                item_exprs, current_scope, outer_scope)
+
         # Final projection (+ hidden ORDER BY keys) -----------------------
         project_compiler = ExprCompiler(current_scope, self)
         project_exprs = [project_compiler.compile(e) for e in item_exprs]
@@ -358,6 +406,7 @@ class Planner:
             project_exprs=project_exprs + hidden,
             project_subplans=project_compiler.subplans,
             distinct=core.distinct and not hidden,
+            batch_stage=batch_stage,
         )
         if hidden:
             # DISTINCT with hidden keys was rejected in _compile_order_keys,
@@ -927,6 +976,95 @@ class Planner:
             frame=frame_compiled,
             separator=separator,
         )
+
+    # ------------------------------------------------------------------
+    # Set-oriented compiled-UDF calls (the BatchedUdf operator)
+    # ------------------------------------------------------------------
+
+    def _plan_batched_udfs(self, item_exprs: list[A.Expr], scope: Scope,
+                           outer_scope: Optional[Scope]):
+        """Rewrite eligible compiled-function calls in the select list to
+        read from the ``__batch`` relation computed by one set-oriented
+        trampoline run per call site (executor/batched_udf.py).
+
+        Returns ``(stage, item_exprs, scope)``; stage is None (and the
+        inputs pass through untouched) when nothing batches.  Identical
+        call sites share one batch column, so ``SELECT f(x), f(x)`` runs a
+        single trampoline.
+        """
+        calls: list = []
+        originals: list[A.FuncCall] = []
+        columns: list[str] = []
+        compiler = ExprCompiler(scope, self)
+
+        def rewrite(expr: A.Expr) -> A.Expr:
+            if isinstance(expr, A.FuncCall) and self._batchable(expr, scope):
+                for index, seen in enumerate(originals):
+                    if expr_equal(expr, seen):
+                        return A.ColumnRef(("__batch", columns[index]))
+                fdef = self.catalog.get_function(expr.name)
+                assert fdef is not None
+                column = f"__b{len(calls)}"
+                calls.append(self._batched_qf_plan(fdef).at_call_site(
+                    fdef.name,
+                    ", ".join(_display_expr(a) for a in expr.args),
+                    [compiler.compile(a) for a in expr.args]))
+                originals.append(expr)
+                columns.append(column)
+                return A.ColumnRef(("__batch", column))
+            return _rewrite_children(expr, rewrite)
+
+        rewritten = [rewrite(e) for e in item_exprs]
+        if not calls:
+            return None, item_exprs, scope
+        post_scope = Scope(scope.relations + [Relation("__batch", columns)],
+                           parent=outer_scope)
+        return (BatchedUdfStagePlan(calls, compiler.subplans,
+                                    dedup=self.batch_dedup),
+                rewritten, post_scope)
+
+    def _batchable(self, call: A.FuncCall, scope: Scope) -> bool:
+        """May *call* run through the batched trampoline?  Requires a
+        compiled function carrying a batched Qf (loop-free and volatile
+        bodies never get one) and argument expressions whose evaluation can
+        safely move into the batch stage — no subqueries, no volatile or
+        user-defined calls (``column_bindings``'s ``unknown`` oracle)."""
+        if call.window is not None or call.star or call.distinct:
+            return False
+        fdef = self.catalog.get_function(call.name)
+        if fdef is None or fdef.kind != "compiled" \
+                or fdef.batched_query is None:
+            return False
+        if len(call.args) != fdef.arity:
+            return False  # the scalar path raises the arity error
+        return all(not column_bindings(arg, scope).unknown
+                   for arg in call.args)
+
+    def _batched_qf_plan(self, fdef):
+        """The batched trampoline for *fdef*, per the current strategy.
+
+        Cached on the FunctionDef: the batched query takes its arguments
+        from the batch-input relation rather than spliced-in expressions,
+        so one compiled trampoline serves every call site
+        (Database.clear_plan_cache resets it)."""
+        strategy = self.batch_strategy
+        cached = fdef.batched_plan
+        if cached is not None and cached[0] == strategy:
+            return cached[1]
+        if strategy == "machine":
+            template = compile_machine(fdef.batch_machine, self)
+        elif strategy == "sql":
+            batch_def = CteDef("__batch_input",
+                               [c.lower() for c in fdef.batch_columns])
+            env = CteEnv()
+            env.defs[batch_def.name] = batch_def
+            plan = self.plan_select(fdef.batched_query, outer_scope=None,
+                                    cte_env=env)
+            template = SqlCallPlan(plan, batch_def)
+        else:
+            raise PlanError(f"unknown batch_strategy {strategy!r}")
+        fdef.batched_plan = (strategy, template)
+        return template
 
     def _resolve_window_spec(self, window, core: A.SelectCore) -> A.WindowSpec:
         if isinstance(window, str):

@@ -44,6 +44,19 @@ PLAN_INSTANTIATIONS = "plan instantiations"
 #: operator open/rescan), plus the number of rows hashed into build tables.
 HASHJOIN_BUILDS = "hash join builds"
 HASHJOIN_BUILD_ROWS = "hash join build rows"
+#: Recursive-CTE activity (the compiled trampoline): one "iteration" per
+#: evaluation of the recursive term, "working rows" summing the working-set
+#: sizes those evaluations saw, and the rows a UNION (not ALL) recursion's
+#: hash-based working-set dedup dropped.
+TRAMPOLINE_ITERATIONS = "trampoline iterations"
+TRAMPOLINE_WORKING_ROWS = "trampoline working rows"
+RECURSION_DEDUP_DROPPED = "recursion dedup dropped rows"
+#: Set-oriented compiled-UDF execution: one "batch" per trampoline launched
+#: by the BatchedUdf operator, "rows" counting the calls it carried and
+#: "distinct" the activations left after argument-vector dedup.
+BATCHED_UDF_BATCHES = "batched udf batches"
+BATCHED_UDF_ROWS = "batched udf rows"
+BATCHED_UDF_DISTINCT = "batched udf distinct calls"
 
 
 class Profiler:

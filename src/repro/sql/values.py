@@ -119,6 +119,11 @@ def compare(a: Value, b: Value) -> int | None:
     Rows compare lexicographically field by field; a NULL field makes the
     whole comparison NULL unless an earlier field already decided it.
     """
+    if type(a) is int and type(b) is int:
+        # Exact-int fast path (``type() is`` excludes bool): the dominant
+        # case in machine-state inner loops, where the generic class checks
+        # below would double the cost of every comparison.
+        return (a > b) - (a < b)
     if a is None or b is None:
         return None
     if isinstance(a, Row) and isinstance(b, Row):

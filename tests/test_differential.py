@@ -1,12 +1,18 @@
-"""Differential testing: interpreter vs compiled, hash join vs nested loop.
+"""Differential testing: interpreter vs compiled, hash join vs nested loop,
+batched vs per-row compiled-UDF evaluation.
 
 Inspired by coverage-driven configuration validation, this suite drives the
-same workload through two independent execution paths and asserts identical
+same workload through independent execution paths and asserts identical
 results:
 
 * PL/pgSQL functions executed by the interpreter *and* as the compiled
   ``WITH RECURSIVE`` query (argument sweeps over gcd, sign, a summing loop,
   and a bounded Collatz),
+* compiled functions over whole relations through the set-oriented
+  ``BatchedUdf`` operator — both its trampoline-machine and generic-SQL
+  strategies, with and without argument dedup — against the per-row
+  scalar-subquery path and the interpreter, including NULL arguments and
+  zero-row inputs,
 * join queries executed by the hash-join operator *and* the seed
   nested-loop path (inner/left/cross, NULL join keys).
 
@@ -117,6 +123,277 @@ class TestInterpreterVsCompiled:
         compiled = db.query_all(
             f"SELECT a, b, {name}_c(a, b) FROM pairs ORDER BY a, b")
         assert compiled == interpreted
+
+
+# ---------------------------------------------------------------------------
+# Batched (set-oriented) vs per-row compiled-UDF evaluation
+# ---------------------------------------------------------------------------
+
+NESTED_LOOPS = """
+CREATE FUNCTION nested(n int) RETURNS int AS $$
+DECLARE i int := 0; j int; acc int := 0;
+BEGIN
+  WHILE i < n LOOP
+    j := 0;
+    WHILE j < i LOOP
+      acc := acc + j;
+      j := j + 1;
+    END LOOP;
+    i := i + 1;
+  END LOOP;
+  RETURN acc;
+END;
+$$ LANGUAGE plpgsql"""
+
+#: (mode label, planner settings) for every BatchedUdf configuration.
+BATCH_MODES = [
+    ("machine", dict(batch_compiled=True, batch_strategy="machine",
+                     batch_dedup=True)),
+    ("machine-nodedup", dict(batch_compiled=True, batch_strategy="machine",
+                             batch_dedup=False)),
+    ("sql", dict(batch_compiled=True, batch_strategy="sql",
+                 batch_dedup=True)),
+    ("scalar", dict(batch_compiled=False)),
+]
+
+
+def _query_with(db: Database, settings: dict, sql: str,
+                params: list = ()) -> list[tuple]:
+    for attr, value in settings.items():
+        setattr(db.planner, attr, value)
+    db.clear_plan_cache()
+    return db.query_all(sql, params)
+
+
+class TestBatchedUdfEquivalence:
+    @pytest.mark.parametrize("source", [GCD, SUM_LOOP, COLLATZ, NESTED_LOOPS])
+    def test_all_paths_agree_over_table(self, db, source):
+        """Interpreter, per-row scalar, and every BatchedUdf mode return
+        identical rows over an argument sweep that includes NULLs."""
+        name = _register_both(db, source)
+        arity = len(db.catalog.get_function(name).param_names)
+        db.execute("CREATE TABLE args(a int, b int)")
+        values = [(12, 18), (270, 192), (7, 200), (0, 5), (1, 1),
+                  (None, 3), (27, None), (None, None), (97, 200)]
+        for row in values:
+            db.execute("INSERT INTO args VALUES ($1, $2)", list(row))
+        cols = ", ".join("ab"[:arity])
+        interpreted = db.query_all(f"SELECT {name}({cols}) FROM args")
+        for label, settings in BATCH_MODES:
+            got = _query_with(db, settings,
+                              f"SELECT {name}_c({cols}) FROM args")
+            assert got == interpreted, (label, source)
+
+    def test_zero_row_input(self, db):
+        _register_both(db, GCD)
+        db.execute("CREATE TABLE empty(a int, b int)")
+        for label, settings in BATCH_MODES:
+            assert _query_with(db, settings,
+                               "SELECT gcd_c(a, b) FROM empty") == [], label
+
+    def test_explain_names_batched_udf_with_scalar_fallback(self, db):
+        _register_both(db, GCD)
+        db.execute("CREATE TABLE pairs(a int, b int)")
+        plan = db.explain("SELECT gcd_c(a, b) FROM pairs")
+        assert "BatchedUdf" in plan
+        db.planner.batch_compiled = False
+        db.clear_plan_cache()
+        assert "BatchedUdf" not in db.explain("SELECT gcd_c(a, b) FROM pairs")
+
+    def test_volatile_args_keep_scalar_path(self, db):
+        """random() in an argument must evaluate per row in call order, so
+        the call may not move into the batch stage."""
+        _register_both(db, GCD)
+        db.execute("CREATE TABLE pairs(a int, b int)")
+        plan = db.explain("SELECT gcd_c(cast(random() * 10 AS int), b) "
+                          "FROM pairs")
+        assert "BatchedUdf" not in plan
+
+    def test_volatile_body_never_batches(self, db):
+        from repro.compiler import compile_plsql
+        source = """CREATE FUNCTION jitter(n int) RETURNS double precision AS
+        $$ DECLARE i int := 0; acc double precision := 0;
+        BEGIN
+          WHILE i < n LOOP acc := acc + random(); i := i + 1; END LOOP;
+          RETURN acc;
+        END; $$ LANGUAGE plpgsql"""
+        compiled = compile_plsql(source, db)
+        fdef = compiled.register(db, name="jitter_c")
+        assert fdef.batched_query is None
+        db.execute("CREATE TABLE t(x int)")
+        db.execute("INSERT INTO t VALUES (3), (4)")
+        assert "BatchedUdf" not in db.explain("SELECT jitter_c(x) FROM t")
+
+    def test_loop_free_functions_stay_inlined(self, db):
+        """Froid-style functions are already one planned expression; the
+        batch stage must leave them alone."""
+        name = _register_both(db, SIGN_FN)
+        db.execute("CREATE TABLE t(x int)")
+        db.execute("INSERT INTO t VALUES (-5), (0), (7)")
+        assert "BatchedUdf" not in db.explain(f"SELECT {name}_c(x) FROM t")
+        assert db.query_all(f"SELECT {name}_c(x) FROM t") == \
+            [(-1,), (0,), (1,)]
+
+    def test_streaming_limit_keeps_lazy_scalar_path(self, db):
+        """`LIMIT` without `ORDER BY` may never evaluate tail rows; an
+        eager batch would raise for a poison row LIMIT discards, so such
+        statements keep the scalar path (with ORDER BY every projected row
+        is evaluated under both paths, so batching stays on)."""
+        from repro.compiler import compile_plsql
+        source = """CREATE FUNCTION inv_sum(n int) RETURNS int AS $$
+        DECLARE i int := 1; acc int := 0;
+        BEGIN
+          WHILE i <= 3 LOOP acc := acc + 300 / n; i := i + 1; END LOOP;
+          RETURN acc;
+        END; $$ LANGUAGE plpgsql"""
+        compile_plsql(source, db).register(db, name="inv_c")
+        db.execute("CREATE TABLE t(x int)")
+        db.execute("INSERT INTO t VALUES (1), (0)")
+        limited = "SELECT inv_c(x) FROM t LIMIT 1"
+        assert "BatchedUdf" not in db.explain(limited)
+        assert db.query_all(limited) == [(900,)]
+        ordered = "SELECT inv_c(x) FROM t ORDER BY x DESC LIMIT 1"
+        assert "BatchedUdf" in db.explain(ordered)
+        with pytest.raises(ExecutionError, match="division by zero"):
+            db.query_all(ordered)
+        db.planner.batch_compiled = False
+        db.clear_plan_cache()
+        with pytest.raises(ExecutionError, match="division by zero"):
+            db.query_all(ordered)
+
+    def test_short_circuiting_subqueries_keep_lazy_scalar_path(self, db):
+        """EXISTS / IN / scalar subqueries stop pulling rows early, so
+        batching inside them could evaluate poison rows the scalar path
+        never reaches — they must decline batching."""
+        from repro.compiler import compile_plsql
+        source = """CREATE FUNCTION inv2(n int) RETURNS int AS $$
+        DECLARE i int := 1; acc int := 0;
+        BEGIN
+          WHILE i <= 3 LOOP acc := acc + 300 / n; i := i + 1; END LOOP;
+          RETURN acc;
+        END; $$ LANGUAGE plpgsql"""
+        compile_plsql(source, db).register(db, name="inv2_c")
+        db.execute("CREATE TABLE t(x int)")
+        db.execute("INSERT INTO t VALUES (1), (0)")
+        assert db.query_all("SELECT EXISTS (SELECT inv2_c(x) FROM t)") \
+            == [(True,)]
+        assert db.query_value(
+            "SELECT 900 IN (SELECT inv2_c(x) FROM t)") is True
+        assert "BatchedUdf" not in db.explain(
+            "SELECT EXISTS (SELECT inv2_c(x) FROM t)")
+
+    def test_dedup_distinguishes_sql_equal_representations(self, db):
+        """5 and 5.0 are SQL-equal but integer vs float division differ;
+        argument dedup must never merge their activations."""
+        from repro.compiler import compile_plsql
+        source = """CREATE FUNCTION halver(n int) RETURNS int AS $$
+        DECLARE i int := 0; acc int := 0;
+        BEGIN
+          WHILE i < 2 LOOP acc := acc + n / 2; i := i + 1; END LOOP;
+          RETURN acc;
+        END; $$ LANGUAGE plpgsql"""
+        compile_plsql(source, db).register(db, name="halver_c")
+        db.execute("CREATE TABLE t(g int)")
+        db.execute("INSERT INTO t VALUES (0), (1)")
+        sql = ("SELECT halver_c(CASE WHEN g = 0 THEN 5 ELSE 5.0 END) "
+               "FROM t ORDER BY g")
+        batched = db.query_all(sql)
+        db.planner.batch_compiled = False
+        db.clear_plan_cache()
+        assert batched == db.query_all(sql) == [(4,), (5.0,)]
+
+    def test_duplicate_call_sites_share_one_batch(self, db):
+        _register_both(db, GCD)
+        db.execute("CREATE TABLE pairs(a int, b int)")
+        db.execute("INSERT INTO pairs VALUES (12, 18), (7, 13)")
+        plan = db.explain("SELECT gcd_c(a, b), gcd_c(a, b), gcd_c(b, a) "
+                          "FROM pairs")
+        assert plan.count("BatchedUdf") == 2
+        rows = db.query_all("SELECT gcd_c(a, b), gcd_c(a, b), gcd_c(b, a) "
+                            "FROM pairs")
+        assert rows == [(6, 6, 6), (1, 1, 1)]
+
+    def test_argument_dedup_counts_distinct_vectors(self, db):
+        from repro.sql.profiler import (BATCHED_UDF_DISTINCT,
+                                        BATCHED_UDF_ROWS)
+        _register_both(db, GCD)
+        db.execute("CREATE TABLE pairs(a int, b int)")
+        for _ in range(4):
+            db.execute("INSERT INTO pairs VALUES (12, 18), (270, 192)")
+        db.profiler.reset()
+        rows = db.query_all("SELECT gcd_c(a, b) FROM pairs")
+        assert rows == [(6,), (6,)] * 4
+        assert db.profiler.counts[BATCHED_UDF_ROWS] == 8
+        assert db.profiler.counts[BATCHED_UDF_DISTINCT] == 2
+
+    def test_batched_call_with_group_by_and_params(self, db):
+        _register_both(db, SUM_LOOP)
+        db.execute("CREATE TABLE t(g int, x int)")
+        db.execute("INSERT INTO t VALUES (0, 1), (0, 2), (1, 3), (1, 4)")
+        sql = "SELECT g, sum_to_c(sum(x) + $1) FROM t GROUP BY g ORDER BY g"
+        grouped = db.query_all(sql, [1])
+        assert "BatchedUdf" in db.explain(
+            "SELECT g, sum_to_c(sum(x) + $1) FROM t GROUP BY g ORDER BY g")
+        db.planner.batch_compiled = False
+        db.clear_plan_cache()
+        assert db.query_all(sql, [1]) == grouped == [(0, 10), (1, 36)]
+
+    def test_dynamic_call_plan_is_cached_on_function(self, db):
+        """The bugfix: dynamically-invoked compiled functions plan Qf once,
+        not per call (plan phase cached on the FunctionDef)."""
+        from repro.sql.profiler import PLAN
+        name = _register_both(db, GCD)
+        db.planner.inline_compiled = False  # force the dynamic path
+        db.clear_plan_cache()
+        fdef = db.catalog.get_function(f"{name}_c")
+        assert fdef.parsed_body is None
+        sql = f"SELECT {name}_c($1, $2)"
+        assert db.query_value(sql, [12, 18]) == 6
+        assert fdef.parsed_body is not None
+        # Outer statement and Qf are both planned now; later calls (same
+        # text, fresh arguments) must not enter the Plan phase again.
+        planned = db.profiler.times.get(PLAN, 0.0)
+        for args in ([270, 192], [1071, 462], [100, 75]):
+            db.query_value(sql, args)
+        assert db.profiler.times.get(PLAN, 0.0) == planned
+        # ... and clear_plan_cache() drops it with the statement cache.
+        db.clear_plan_cache()
+        assert fdef.parsed_body is None
+
+
+# ---------------------------------------------------------------------------
+# Recursive-CTE working-set dedup and trampoline counters
+# ---------------------------------------------------------------------------
+
+
+class TestRecursionDedupAndCounters:
+    def test_union_dedup_drops_rederived_rows(self, db):
+        """A cyclic graph terminates under UNION because the hash-based
+        working-set dedup drops re-derived rows (and counts them)."""
+        from repro.sql.profiler import (RECURSION_DEDUP_DROPPED,
+                                        TRAMPOLINE_ITERATIONS)
+        db.execute("CREATE TABLE edges(src int, dst int)")
+        db.execute("INSERT INTO edges VALUES (1,2), (2,3), (3,1)")
+        db.profiler.reset()
+        rows = db.query_all(
+            "WITH RECURSIVE r(n) AS ("
+            "SELECT 1 UNION SELECT e.dst FROM r, edges e WHERE e.src = r.n"
+            ") SELECT n FROM r ORDER BY n")
+        assert rows == [(1,), (2,), (3,)]
+        assert db.profiler.counts[RECURSION_DEDUP_DROPPED] >= 1
+        assert db.profiler.counts[TRAMPOLINE_ITERATIONS] >= 3
+
+    def test_union_all_counts_working_rows(self, db):
+        from repro.sql.profiler import (TRAMPOLINE_ITERATIONS,
+                                        TRAMPOLINE_WORKING_ROWS)
+        db.profiler.reset()
+        total = db.query_value(
+            "WITH RECURSIVE r(n) AS ("
+            "SELECT 1 UNION ALL SELECT n + 1 FROM r WHERE n < 5"
+            ") SELECT sum(n) FROM r")
+        assert total == 15
+        assert db.profiler.counts[TRAMPOLINE_ITERATIONS] == 5
+        assert db.profiler.counts[TRAMPOLINE_WORKING_ROWS] == 5
 
 
 # ---------------------------------------------------------------------------
