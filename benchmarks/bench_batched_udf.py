@@ -75,7 +75,7 @@ def _timed(db: Database, batched: bool, strategy: str = "machine",
     return time_query(db, QUERY, runs=runs, warmup=1).minimum
 
 
-def test_batched_udf_beats_scalar_path(write_artifact, benchmark):
+def test_batched_udf_beats_scalar_path(write_artifact, write_json, benchmark):
     db = _build_db()
 
     # Sanity: all three evaluation paths agree before we time anything.
@@ -137,6 +137,18 @@ def test_batched_udf_beats_scalar_path(write_artifact, benchmark):
         ["variant", "ms (min) / count"], rows,
         title=f"Compiled UDF over a {ROWS}-row table: "
               "one trampoline vs one per row"))
+
+    write_json("batched_udf", {
+        "rows": ROWS,
+        "timings_s": {
+            "scalar_per_row": scalar_s,
+            "batched_sql_strategy": sql_s,
+            "batched_machine_no_dedup": raw_s,
+            "batched_machine": machine_s,
+        },
+        "speedups": {"batched": speedup, "batched_no_dedup": raw_speedup},
+        "rows_per_s": {"batched_machine": ROWS / machine_s},
+    })
 
     assert speedup >= 10.0, f"batched trampoline only {speedup:.1f}x faster"
     assert raw_speedup >= 5.0, \

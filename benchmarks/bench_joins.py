@@ -47,7 +47,7 @@ def _timed(db: Database, sql: str, hashjoin: bool, runs: int = 3) -> float:
     return time_query(db, sql, runs=runs, warmup=1).minimum
 
 
-def test_hash_join_beats_nested_loop(write_artifact, benchmark):
+def test_hash_join_beats_nested_loop(write_artifact, write_json, benchmark):
     db = _build_db()
 
     # Sanity: both strategies agree before we time anything.
@@ -83,6 +83,17 @@ def test_hash_join_beats_nested_loop(write_artifact, benchmark):
     write_artifact("bench_joins.txt", render_table(
         ["plan", "ms (min)"], rows,
         title=f"Hash join vs nested loop ({ROWS}x{ROWS} rows)"))
+    write_json("joins", {
+        "rows": ROWS,
+        "timings_s": {
+            "equi_join_nested_loop": nested_s,
+            "equi_join_hash": hash_s,
+            "filtered_equi_join_nested_loop": pushdown_nested_s,
+            "filtered_equi_join_hash_pushdown": pushdown_hash_s,
+        },
+        "speedups": {"equi_join": speedup},
+        "rows_per_s": {"equi_join_hash": ROWS / hash_s},
+    })
 
     assert speedup >= 10.0, f"hash join only {speedup:.1f}x faster"
 

@@ -27,6 +27,20 @@ def demo():
 
 
 @pytest.fixture(scope="session")
+def write_json():
+    """Write BENCH_<name>.json into results/ (machine-readable timings,
+    speedups and rows/s — the cross-PR perf trajectory)."""
+    from repro.bench.harness import write_bench_json
+
+    def write(name: str, payload: dict) -> Path:
+        path = write_bench_json(name, payload, RESULTS_DIR)
+        print(f"\n--- {path.name} -> {path}")
+        return path
+
+    return write
+
+
+@pytest.fixture(scope="session")
 def write_artifact():
     def write(name: str, text: str) -> Path:
         RESULTS_DIR.mkdir(exist_ok=True)

@@ -7,8 +7,11 @@ and repetitions are comparable.
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Optional, Sequence
 
 from ..sql.engine import Database
@@ -54,6 +57,31 @@ def time_query(db: Database, sql: str, params: Sequence = (),
         if run >= warmup:
             samples.append(elapsed)
     return Timing(samples)
+
+
+# ---------------------------------------------------------------------------
+# Machine-readable results
+# ---------------------------------------------------------------------------
+
+
+def write_bench_json(name: str, payload: dict,
+                     directory: "str | os.PathLike | None" = None) -> Path:
+    """Write ``BENCH_<name>.json`` so the perf trajectory is tracked as
+    machine-readable data across PRs (timings in seconds, speedups,
+    rows/s — whatever the benchmark measured).
+
+    *directory* defaults to ``$BENCH_RESULTS_DIR`` or ``./results`` (the
+    benchmarks run with ``benchmarks/`` as the working directory, so both
+    land next to the plain-text artifacts).  CI uploads the ``BENCH_*``
+    files as artifacts.
+    """
+    if directory is None:
+        directory = os.environ.get("BENCH_RESULTS_DIR", "results")
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    path = target / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 # ---------------------------------------------------------------------------

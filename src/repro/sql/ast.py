@@ -374,6 +374,35 @@ class CreateType:
 
 
 @dataclass
+class IndexedColumn:
+    """One key column of ``CREATE INDEX``: name plus sort direction."""
+
+    name: str
+    descending: bool = False
+
+
+@dataclass
+class CreateIndex:
+    """``CREATE INDEX [IF NOT EXISTS] name ON table (col [ASC|DESC], ...)``.
+
+    Declares a sorted index (see :class:`repro.sql.storage.SortedIndex`):
+    built eagerly, maintained incrementally by DML, consulted by the
+    planner for range scans, sort elimination and merge joins.
+    """
+
+    name: str
+    table: str
+    columns: list[IndexedColumn]
+    if_not_exists: bool = False
+
+
+@dataclass
+class DropIndex:
+    name: str
+    if_exists: bool = False
+
+
+@dataclass
 class FunctionParam:
     name: str
     type_name: str
@@ -428,4 +457,5 @@ class DropFunction:
 
 
 Statement = Union[SelectStmt, CreateTable, CreateType, CreateFunction,
-                  Insert, Update, Delete, DropTable, DropFunction]
+                  CreateIndex, Insert, Update, Delete, DropTable,
+                  DropFunction, DropIndex]

@@ -28,6 +28,20 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 
 @dataclass
+class IndexDef:
+    """A declared sorted index (``CREATE INDEX``): names the
+    :class:`~repro.sql.storage.SortedIndex` pinned on its table.  Lazily
+    auto-created indexes (range scans) have no IndexDef — only declared
+    ones are droppable by name."""
+
+    name: str
+    table: str
+    column_names: list[str]
+    columns: tuple[int, ...]
+    descending: tuple[bool, ...]
+
+
+@dataclass
 class FunctionDef:
     """A registered function.
 
@@ -77,6 +91,7 @@ class Catalog:
         self.tables: dict[str, HeapTable] = {}
         self.composite_types: dict[str, CompositeType] = {}
         self.functions: dict[str, FunctionDef] = {}
+        self.indexes: dict[str, IndexDef] = {}
 
     # -- tables ----------------------------------------------------------
     def create_table(self, name: str, column_names, column_types,
@@ -113,6 +128,56 @@ class Catalog:
                 return
             raise CatalogError(f"unknown table {name!r}")
         del self.tables[key]
+        self.indexes = {index_name: index
+                        for index_name, index in self.indexes.items()
+                        if index.table != key}
+
+    # -- indexes -----------------------------------------------------------
+    def create_index(self, name: str, table_name: str,
+                     columns: list[tuple[str, bool]],
+                     if_not_exists: bool = False
+                     ) -> Optional[tuple[IndexDef, bool]]:
+        """Declare (and eagerly build) a sorted index over *columns* — a
+        list of ``(column name, descending)`` pairs.  Returns the IndexDef
+        plus whether a new SortedIndex structure was actually built (False
+        when a lazily auto-created one with the same key already existed),
+        or None when the index exists and *if_not_exists* was given."""
+        key = name.lower()
+        if key in self.indexes:
+            if if_not_exists:
+                return None
+            raise CatalogError(f"index {name!r} already exists")
+        table = self.get_table(table_name)
+        positions = tuple(table.column_index(column) for column, _ in columns)
+        descending = tuple(bool(desc) for _, desc in columns)
+        if len(set(positions)) != len(positions):
+            raise CatalogError(f"index {name!r}: duplicate key columns")
+        built = table.sorted_index_if_exists(positions, descending) is None
+        table.sorted_index(positions, descending).pinned = True
+        index_def = IndexDef(key, table.name,
+                             [column.lower() for column, _ in columns],
+                             positions, descending)
+        self.indexes[key] = index_def
+        return index_def, built
+
+    def drop_index(self, name: str, if_exists: bool = False) -> None:
+        key = name.lower()
+        index_def = self.indexes.pop(key, None)
+        if index_def is None:
+            if if_exists:
+                return
+            raise CatalogError(f"unknown index {name!r}")
+        # Several declared indexes may share one SortedIndex structure
+        # (same table, columns and directions); drop it only when the last
+        # declaration referencing it goes away.
+        still_declared = any(
+            other.table == index_def.table
+            and other.columns == index_def.columns
+            and other.descending == index_def.descending
+            for other in self.indexes.values())
+        table = self.tables.get(index_def.table)
+        if table is not None and not still_declared:
+            table.drop_sorted_index(index_def.columns, index_def.descending)
 
     # -- composite types ---------------------------------------------------
     def create_type(self, name: str, field_names, field_types) -> CompositeType:

@@ -137,6 +137,12 @@ class Database:
             return self._do_update(stmt, params)
         if isinstance(stmt, A.Delete):
             return self._do_delete(stmt, params)
+        if isinstance(stmt, A.CreateIndex):
+            return self._do_create_index(stmt)
+        if isinstance(stmt, A.DropIndex):
+            self.catalog.drop_index(stmt.name, stmt.if_exists)
+            self.clear_plan_cache()
+            return Result([], [])
         if isinstance(stmt, A.DropTable):
             self.catalog.drop_table(stmt.name, stmt.if_exists)
             self.clear_plan_cache()
@@ -338,6 +344,20 @@ class Database:
         self.clear_plan_cache()
         return Result([], [])
 
+    def _do_create_index(self, stmt: A.CreateIndex) -> Result:
+        from .profiler import SORTED_INDEX_BUILDS
+        created = self.catalog.create_index(
+            stmt.name, stmt.table,
+            [(column.name, column.descending) for column in stmt.columns],
+            stmt.if_not_exists)
+        if created is not None and created[1]:
+            self.profiler.bump(SORTED_INDEX_BUILDS)
+        # Plans choose access paths (range scans, sort elimination, merge
+        # joins) from the indexes visible at plan time; cached plans must
+        # not outlive an index change in either direction.
+        self.clear_plan_cache()
+        return Result([], [])
+
     def _do_create_type(self, stmt: A.CreateType) -> Result:
         self.catalog.create_type(stmt.name,
                                  [f.name for f in stmt.fields],
@@ -367,7 +387,7 @@ class Database:
             positions = [table.column_index(c) for c in stmt.columns]
         else:
             positions = list(range(len(table.column_names)))
-        inserted = 0
+        full_rows: list[tuple] = []
         for row in source.rows:
             if len(row) != len(positions):
                 raise ExecutionError(
@@ -375,8 +395,9 @@ class Database:
             full: list[Value] = [None] * len(table.column_names)
             for position, value in zip(positions, row):
                 full[position] = self._coerce(value, table.column_types[position])
-            table.insert(full)
-            inserted += 1
+            full_rows.append(tuple(full))
+        # One bulk insert: index maintenance sees the whole batch at once.
+        inserted = table.insert_many(full_rows)
         return Result(["count"], [(inserted,)])
 
     def _coerce(self, value: Value, type_name: str) -> Value:

@@ -123,7 +123,8 @@ class FromLeafState(FromNodeState):
         if self.plan.filter is not None and (self._filter_ctx is None or rebind):
             self._filter_ctx = EvalContext(self.rt, self.vector, parent=outer,
                                            slots=self.filter_slots)
-        if self.plan.lateral or type(self.source).__name__ == "IndexScanState":
+        if self.plan.lateral or type(self.source).__name__ in (
+                "IndexScanState", "IndexRangeScanState"):
             # The source sees the shared vector as its immediate outer scope
             # (index scans evaluate their correlated keys against it).
             if self._vector_ctx is None or rebind:

@@ -35,27 +35,12 @@ from __future__ import annotations
 from ..errors import TypeError_
 from ..expr import EvalContext
 from ..profiler import HASHJOIN_BUILD_ROWS, HASHJOIN_BUILDS
-from ..values import Row, comparison_class, hashable_value
+from ..values import Row, hashable_value
+from ..values import key_class as _key_class
 from .fromtree import FromNodePlan, FromNodeState
 from .scan import make_slots
 
 _NO_MATCHES: list = []
-
-
-def _key_class(value):
-    """Comparability class of a join-key value.
-
-    Hash lookups on incomparable types would silently find nothing where
-    the nested loop raises; recording each key component's classes at
-    build time lets the probe raise the same type error instead.  Derived
-    from :func:`repro.sql.values.comparison_class` (the single classifier)
-    with one refinement: rows class by arity, since ``compare()`` rejects
-    rows of different arity too.
-    """
-    kind = comparison_class(value)
-    if kind == "row":
-        return ("row", len(value))
-    return kind
 
 
 def _key_type_error(probe_value, build_class, build_display) -> TypeError_:

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..errors import ExecutionError, NameResolutionError
+from ..profiler import INDEX_RANGE_SCANS, SORTED_INDEX_BUILDS
 from ..values import Row
 from .base import Plan, PlanState
 
@@ -53,6 +54,29 @@ class SeqScanState(PlanState):
 _NO_ROWS: list = []
 
 
+def mirror_outer_context(state, outer):
+    """The cached eval context an index-scan state probes its key/bound
+    expressions in.
+
+    Those expressions were compiled at the enclosing SELECT's scope level;
+    *outer* is that level's context (the FROM leaf passes its shared row
+    vector).  Mirror it, attaching the state's subplan slots; the mirror
+    is cached on the state since the leaf reuses its vector context.
+    Shared by IndexScanState and IndexRangeScanState, which must stay
+    rebind-for-rebind identical (fromtree.py dispatches on both by name).
+    """
+    if outer is state._ctx_outer:
+        return state._ctx
+    from ..expr import EvalContext
+    if outer is not None:
+        state._ctx = EvalContext(state.rt, outer.rows, parent=outer.parent,
+                                 slots=state.slots)
+    else:
+        state._ctx = EvalContext(state.rt, (), slots=state.slots)
+    state._ctx_outer = outer
+    return state._ctx
+
+
 class IndexScanPlan(Plan):
     """Equality lookup via a hash index (planner-chosen for correlated
     ``col = expr`` predicates on base tables — PostgreSQL would use a
@@ -98,19 +122,7 @@ class IndexScanState(PlanState):
         self._ctx_outer = self  # sentinel: never a valid outer
 
     def open(self, outer) -> None:
-        # Key expressions were compiled at the enclosing SELECT's scope
-        # level; *outer* is that level's context (the FROM leaf passes its
-        # shared row vector).  Mirror it, attaching our subplan slots; the
-        # mirror is cached since the leaf reuses its vector context.
-        if outer is not self._ctx_outer:
-            from ..expr import EvalContext
-            if outer is not None:
-                self._ctx = EvalContext(self.rt, outer.rows,
-                                        parent=outer.parent, slots=self.slots)
-            else:
-                self._ctx = EvalContext(self.rt, (), slots=self.slots)
-            self._ctx_outer = outer
-        ctx = self._ctx
+        ctx = mirror_outer_context(self, outer)
         key = tuple(expr(ctx) for expr in self.plan.key_exprs)
         self.pos = 0
         if None in key:
@@ -124,6 +136,129 @@ class IndexScanState(PlanState):
             return None
         row = self.rows[self.pos]
         self.pos += 1
+        return row
+
+
+class IndexRangeScanPlan(Plan):
+    """Ordered access via a :class:`~repro.sql.storage.SortedIndex`.
+
+    One operator, three planner-chosen roles:
+
+    * **range scan** — ``lower`` / ``upper`` are ``(compiled expr,
+      inclusive, display)`` bounds on a single ascending key column,
+      evaluated per (re)open against the outer context (correlated range
+      probes re-bisect per outer row: O(log n + k) instead of the O(n)
+      SeqScan + filter),
+    * **ordered delivery** — no bounds: the whole index in key order
+      (NULLS LAST ascending / NULLS FIRST descending, matching the sort
+      operator's defaults), letting the planner skip the sort,
+    * **merge-join input** — ordered delivery feeding
+      :class:`~repro.sql.executor.mergejoin.MergeJoinPlan`.
+
+    ``reverse`` flips the iteration direction (DESC ordering from an ASC
+    index and vice versa).  The index is fetched from the table at open —
+    created lazily like ``equality_index`` and maintained incrementally by
+    DML, so repeated probes never pay a rebuild.
+    """
+
+    __slots__ = ("table_name", "key_columns", "key_desc", "lower", "upper",
+                 "reverse", "subplans")
+
+    def __init__(self, table_name: str, output_columns: list[str],
+                 key_columns, key_desc, lower, upper,
+                 reverse: bool = False, subplans=()):
+        super().__init__(output_columns)
+        self.table_name = table_name
+        self.key_columns = tuple(key_columns)
+        self.key_desc = tuple(key_desc)
+        self.lower = lower
+        self.upper = upper
+        self.reverse = reverse
+        self.subplans = list(subplans)
+
+    def label(self) -> str:
+        column = self.output_columns[self.key_columns[0]]
+        bits = []
+        if self.lower is not None:
+            bits.append(f"{column} {'>=' if self.lower[1] else '>'} "
+                        f"{self.lower[2]}")
+        if self.upper is not None:
+            bits.append(f"{column} {'<=' if self.upper[1] else '<'} "
+                        f"{self.upper[2]}")
+        if not bits:
+            keys = ", ".join(
+                self.output_columns[c] + (" DESC" if d != self.reverse else "")
+                for c, d in zip(self.key_columns, self.key_desc))
+            bits.append(f"order by {keys}")
+        elif self.reverse:
+            bits.append("DESC")
+        return f"IndexRangeScan on {self.table_name} ({', '.join(bits)})"
+
+    def instantiate(self, rt, ictx=None) -> "IndexRangeScanState":
+        return IndexRangeScanState(rt, self, ictx)
+
+
+class IndexRangeScanState(PlanState):
+    __slots__ = ("plan", "table", "slots", "rows", "pos", "stop", "step",
+                 "_ctx", "_ctx_outer")
+
+    def __init__(self, rt, plan: IndexRangeScanPlan, ictx):
+        super().__init__(rt)
+        self.plan = plan
+        self.table = rt.catalog.tables.get(plan.table_name)
+        if self.table is None:
+            raise NameResolutionError(f"unknown table {plan.table_name!r}")
+        self.slots = make_slots(rt, ictx, plan.subplans)
+        self.rows: list = _NO_ROWS
+        self.pos = 0
+        self.stop = 0
+        self.step = 1
+        self._ctx = None
+        self._ctx_outer = self  # sentinel: never a valid outer
+
+    def open(self, outer) -> None:
+        plan = self.plan
+        ctx = mirror_outer_context(self, outer)
+        profiler = self.rt.db.profiler
+        index = self.table.sorted_index_if_exists(plan.key_columns,
+                                                  plan.key_desc)
+        if index is None:
+            profiler.bump(SORTED_INDEX_BUILDS)
+            index = self.table.sorted_index(plan.key_columns, plan.key_desc)
+        profiler.bump(INDEX_RANGE_SCANS)
+        lower = upper = None
+        empty = False
+        if plan.lower is not None:
+            value = plan.lower[0](ctx)
+            if value is None:
+                empty = True  # col > NULL is never TRUE
+            else:
+                index.check_probe(0, value)
+                lower = (value, plan.lower[1])
+        if plan.upper is not None and not empty:
+            value = plan.upper[0](ctx)
+            if value is None:
+                empty = True
+            else:
+                index.check_probe(0, value)
+                upper = (value, plan.upper[1])
+        self.rows = index.rows
+        if empty:
+            start = stop = 0
+        elif lower is None and upper is None:
+            start, stop = 0, len(self.rows)
+        else:
+            start, stop = index.range_positions(lower, upper)
+        if plan.reverse:
+            self.pos, self.stop, self.step = stop - 1, start - 1, -1
+        else:
+            self.pos, self.stop, self.step = start, stop, 1
+
+    def next(self) -> Optional[tuple]:
+        if self.pos == self.stop:
+            return None
+        row = self.rows[self.pos]
+        self.pos += self.step
         return row
 
 

@@ -12,18 +12,129 @@ scope chain exactly.
 
 from __future__ import annotations
 
+import heapq
 from typing import Callable, Optional, Sequence
 
 from ..errors import ExecutionError
 from ..expr import EvalContext
 from ..functions import make_aggregate
+from ..profiler import TOPN_INPUT_ROWS, TOPN_SCANS
 from ..values import hashable_row as _hashable_row
 from ..values import hashable_value as _hashable_value
 from .base import Plan, PlanState
 from .batched_udf import BatchedUdfStagePlan, BatchedUdfStageState
 from .fromtree import FromNodePlan
 from .scan import make_slots
+from .tuples import SortPlan, make_row_key
 from .window import WindowCallPlan, compute_window_columns
+
+
+class TopNPlan(Plan):
+    """Bounded-heap ``ORDER BY ... LIMIT``: Sort's answer to small limits.
+
+    Replaces a :class:`~repro.sql.executor.tuples.SortPlan` when the
+    statement carries a constant LIMIT (plus optional constant OFFSET) and
+    no index delivers the order: instead of materializing and sorting all
+    n input rows (O(n log n) comparisons), a max-heap of the best
+    ``count = limit + offset`` rows is maintained while streaming
+    (O(n log count)).  Key semantics (direction, NULLS placement, stable
+    ties by arrival order) are shared with Sort via
+    :func:`~repro.sql.executor.tuples.make_row_key`, so the two operators
+    are observably identical — differentially tested.
+    """
+
+    __slots__ = ("child", "key_start", "descending", "nulls_first", "strip",
+                 "key_indices", "count")
+
+    def __init__(self, sort: SortPlan, count: int):
+        super().__init__(sort.output_columns)
+        self.child = sort.child
+        self.key_start = sort.key_start
+        self.descending = sort.descending
+        self.nulls_first = sort.nulls_first
+        self.strip = sort.strip
+        self.key_indices = sort.key_indices
+        self.count = count
+
+    def label(self) -> str:
+        return f"TopN (n={self.count})"
+
+    def children(self) -> list[Plan]:
+        return [self.child]
+
+    def instantiate(self, rt, ictx=None) -> "TopNState":
+        return TopNState(rt, self, self.child.instantiate(rt, ictx))
+
+
+class _TopItem:
+    """Heap entry ordered *inversely* by (key, arrival), making ``heap[0]``
+    the worst kept row; ties fall to arrival order so the survivors match
+    a stable full sort cut at ``count``."""
+
+    __slots__ = ("key", "seq", "row")
+
+    def __init__(self, key, seq: int, row: tuple):
+        self.key = key
+        self.seq = seq
+        self.row = row
+
+    def __lt__(self, other: "_TopItem") -> bool:
+        if self.key == other.key:
+            return other.seq < self.seq
+        return other.key < self.key
+
+
+class TopNState(PlanState):
+    __slots__ = ("plan", "child", "rows", "pos")
+
+    def __init__(self, rt, plan: TopNPlan, child: PlanState):
+        super().__init__(rt)
+        self.plan = plan
+        self.child = child
+        self.rows: list[tuple] = []
+        self.pos = 0
+
+    def open(self, outer) -> None:
+        plan = self.plan
+        self.child.open(outer)
+        key_fn = make_row_key(plan)
+        count = plan.count
+        heap: list[_TopItem] = []
+        seq = 0
+        # Drain the child completely, exactly as Sort would: expression
+        # side effects and row counts stay identical to the sort path.
+        child_next = self.child.next
+        while True:
+            row = child_next()
+            if row is None:
+                break
+            item = _TopItem(key_fn(row), seq, row)
+            seq += 1
+            if len(heap) < count:
+                heapq.heappush(heap, item)
+            elif heap and heap[0] < item:
+                # Under the inverted __lt__, heap[0] is the worst kept row
+                # and "worst < item" means the new row sorts before it.
+                heapq.heapreplace(heap, item)
+        profiler = self.rt.db.profiler
+        profiler.bump(TOPN_SCANS)
+        profiler.bump(TOPN_INPUT_ROWS, seq)
+        heap.sort(key=lambda item: (item.key, item.seq))
+        if plan.strip and plan.key_indices is None:
+            self.rows = [item.row[:plan.key_start] for item in heap]
+        else:
+            self.rows = [item.row for item in heap]
+        self.pos = 0
+
+    def next(self) -> Optional[tuple]:
+        if self.pos >= len(self.rows):
+            return None
+        row = self.rows[self.pos]
+        self.pos += 1
+        return row
+
+    def close(self) -> None:
+        self.child.close()
 
 
 class AggCallPlan:

@@ -56,20 +56,7 @@ class SortState(PlanState):
         self.child.open(outer)
         plan = self.plan
         rows = self.child.fetch_all()
-
-        def key(row: tuple):
-            if plan.key_indices is not None:
-                keys = tuple(row[i] for i in plan.key_indices)
-            else:
-                keys = row[plan.key_start:]
-            base = row_sort_key(keys, plan.descending)
-            # NULLS FIRST/LAST overrides: wrap once more when requested.
-            return tuple(
-                _null_adjust(part, value, plan.descending[i],
-                             plan.nulls_first[i])
-                for i, (part, value) in enumerate(zip(base, keys)))
-
-        rows.sort(key=key)
+        rows.sort(key=make_row_key(plan))
         if plan.strip and plan.key_indices is None:
             self.rows = [row[:plan.key_start] for row in rows]
         else:
@@ -85,6 +72,28 @@ class SortState(PlanState):
 
     def close(self) -> None:
         self.child.close()
+
+
+def make_row_key(plan) -> Callable[[tuple], tuple]:
+    """The row -> sort-key closure for a :class:`SortPlan`-shaped node
+    (``key_start`` / ``key_indices`` / ``descending`` / ``nulls_first``).
+    Shared by :class:`SortState` and the bounded-heap TopN operator
+    (:mod:`repro.sql.executor.select_core`), which must order rows
+    identically to stay differentially equivalent."""
+
+    def key(row: tuple):
+        if plan.key_indices is not None:
+            keys = tuple(row[i] for i in plan.key_indices)
+        else:
+            keys = row[plan.key_start:]
+        base = row_sort_key(keys, plan.descending)
+        # NULLS FIRST/LAST overrides: wrap once more when requested.
+        return tuple(
+            _null_adjust(part, value, plan.descending[i],
+                         plan.nulls_first[i])
+            for i, (part, value) in enumerate(zip(base, keys)))
+
+    return key
 
 
 def _null_adjust(key_part, value, descending: bool, nulls_first: Optional[bool]):

@@ -744,9 +744,33 @@ class SqlParser:
             return A.CreateType(name, fields)
         if ts.accept_keyword("function"):
             return self._parse_create_function(replace)
+        if ts.accept_keyword("index"):
+            if_not_exists = False
+            if ts.accept_keyword("if"):
+                ts.expect_keyword("not")
+                ts.expect_keyword("exists")
+                if_not_exists = True
+            name = ts.expect_ident("index name")
+            ts.expect_keyword("on")
+            table = ts.expect_ident("table name")
+            ts.expect_op("(")
+            columns = [self._parse_indexed_column()]
+            while ts.accept_op(","):
+                columns.append(self._parse_indexed_column())
+            ts.expect_op(")")
+            return A.CreateIndex(name, table, columns, if_not_exists)
         token = ts.peek()
         raise ParseError(f"unsupported CREATE statement at {token}",
                          token.line, token.column)
+
+    def _parse_indexed_column(self) -> A.IndexedColumn:
+        name = self.ts.expect_ident("column name")
+        descending = False
+        if self.ts.accept_keyword("desc"):
+            descending = True
+        else:
+            self.ts.accept_keyword("asc")
+        return A.IndexedColumn(name, descending)
 
     def _parse_column_def(self) -> A.ColumnDef:
         name = self.ts.expect_ident("column name")
@@ -854,6 +878,9 @@ class SqlParser:
         if ts.accept_keyword("function"):
             if_exists = self._parse_if_exists()
             return A.DropFunction(ts.expect_ident("function name"), if_exists)
+        if ts.accept_keyword("index"):
+            if_exists = self._parse_if_exists()
+            return A.DropIndex(ts.expect_ident("index name"), if_exists)
         token = ts.peek()
         raise ParseError(f"unsupported DROP at {token}", token.line, token.column)
 

@@ -33,10 +33,12 @@ from .executor.batched_udf import (BatchedUdfStagePlan, SqlCallPlan,
                                    compile_machine)
 from .executor.fromtree import FromJoinPlan, FromLeafPlan, FromNodePlan
 from .executor.hashjoin import HashJoinPlan
+from .executor.mergejoin import MergeJoinPlan
 from .executor.recursion import CteDef, CTEScanPlan, SelectStmtPlan
-from .executor.scan import OneRowPlan, RowExpandPlan, SeqScanPlan, ValuesPlan
+from .executor.scan import (IndexRangeScanPlan, OneRowPlan, RowExpandPlan,
+                            SeqScanPlan, ValuesPlan)
 from .executor.select_core import (AggCallPlan, AggStagePlan, SelectCorePlan,
-                                   WindowStagePlan)
+                                   TopNPlan, WindowStagePlan)
 from .executor.tuples import AppendPlan, LimitPlan, SetOpPlan, SortPlan
 from .executor.window import WindowCallPlan
 from .functions import is_aggregate_name, is_window_function_name
@@ -124,6 +126,18 @@ class Planner:
         #: argument vectors (sound: batching requires non-volatile
         #: functions).  Turn off to measure the raw trampoline.
         self.batch_dedup = True
+        #: Ordered access paths.  ``enable_rangescan``: push range
+        #: conjuncts (< <= > >= BETWEEN) on a base-table column into a
+        #: bisect-backed IndexRangeScan.  ``enable_sort_elim``: skip the
+        #: Sort when an existing sorted index already delivers the ORDER
+        #: BY.  ``enable_topn``: bounded heap for constant ORDER BY ..
+        #: LIMIT when no index applies.  ``enable_mergejoin``: merge join
+        #: when both inner-equi-join inputs are index-ordered on the key.
+        #: All are plan-time choices — clear_plan_cache() after toggling.
+        self.enable_rangescan = True
+        self.enable_sort_elim = True
+        self.enable_topn = True
+        self.enable_mergejoin = True
         self._cte_env: Optional[CteEnv] = None
         #: Nesting depth of expression subqueries (EXISTS / IN / scalar)
         #: currently being planned.  Those consumers stop pulling rows
@@ -186,6 +200,14 @@ class Planner:
             limit = compiler.compile(stmt.limit) if stmt.limit is not None else None
             offset = (compiler.compile(stmt.offset)
                       if stmt.offset is not None else None)
+            # Top-N: a constant LIMIT (+OFFSET) over a sort keeps only the
+            # best limit+offset rows in a bounded heap instead of sorting
+            # the whole input.  (When sort elimination already removed the
+            # Sort, the streaming LimitPlan alone stops after k rows.)
+            count = _constant_topn_count(stmt)
+            if (self.enable_topn and count is not None
+                    and isinstance(plan, SortPlan)):
+                plan = TopNPlan(plan, count)
             plan = LimitPlan(plan, limit, offset, compiler.subplans)
         return plan
 
@@ -390,11 +412,25 @@ class Planner:
             batch_stage, item_exprs, current_scope = self._plan_batched_udfs(
                 item_exprs, current_scope, outer_scope)
 
+        # Sort elimination -------------------------------------------------
+        # A single base-table FROM whose scan can come from a sorted index
+        # in the requested order drops the Sort node entirely.  The block
+        # stays streaming, so an enclosing LIMIT stops pulling after k
+        # rows — ORDER BY .. LIMIT over an index costs O(log n + k).
+        sort_eliminated = False
+        if (order_by and self.enable_sort_elim and not core.distinct
+                and agg_stage is None and window_stage is None
+                and isinstance(from_plan, FromLeafPlan)
+                and not from_plan.lateral):
+            sort_eliminated = self._eliminate_sort(order_by, items,
+                                                   from_plan, scope)
+
         # Final projection (+ hidden ORDER BY keys) -----------------------
         project_compiler = ExprCompiler(current_scope, self)
         project_exprs = [project_compiler.compile(e) for e in item_exprs]
-        hidden = self._compile_order_keys(order_by, items, project_exprs,
-                                          project_compiler, core.distinct)
+        hidden = ([] if sort_eliminated else
+                  self._compile_order_keys(order_by, items, project_exprs,
+                                           project_compiler, core.distinct))
         plan: Plan = SelectCorePlan(
             output_columns=output_columns,
             n_relations=len(relations),
@@ -417,7 +453,7 @@ class Planner:
                             descending=[i.descending for i in order_by],
                             nulls_first=[i.nulls_first for i in order_by],
                             strip=True)
-        elif order_by:
+        elif order_by and not sort_eliminated:
             plan = SortPlan(plan, output_columns, key_start=len(items),
                             descending=[i.descending for i in order_by],
                             nulls_first=[i.nulls_first for i in order_by],
@@ -431,12 +467,12 @@ class Planner:
         indices = []
         aliases = [(_derive_name(i) or "").lower() for i in items]
         for sort_item in order_by:
-            expr = sort_item.expr
-            if isinstance(expr, A.Literal) and isinstance(expr.value, int):
-                indices.append(expr.value - 1)
+            kind, value = _sort_item_target(sort_item.expr, items, aliases)
+            if kind == "position":
+                indices.append(value - 1)
             else:
-                assert isinstance(expr, A.ColumnRef)
-                indices.append(aliases.index(expr.parts[0].lower()))
+                assert kind == "alias"
+                indices.append(value)
         return indices
 
     def _compile_order_keys(self, order_by, items, project_exprs,
@@ -447,16 +483,12 @@ class Planner:
         aliases = [(_derive_name(i) or "").lower() for i in items]
         all_positional = True
         for sort_item in order_by:
-            expr = sort_item.expr
-            if isinstance(expr, A.Literal) and isinstance(expr.value, int) \
-                    and not isinstance(expr.value, bool):
-                if not 1 <= expr.value <= len(items):
-                    raise PlanError(f"ORDER BY position {expr.value} is out of range")
-                continue
-            if isinstance(expr, A.ColumnRef) and len(expr.parts) == 1 \
-                    and expr.parts[0].lower() in aliases:
-                continue
-            all_positional = False
+            kind, value = _sort_item_target(sort_item.expr, items, aliases)
+            if kind == "position":
+                if not 1 <= value <= len(items):
+                    raise PlanError(f"ORDER BY position {value} is out of range")
+            elif kind == "expr":
+                all_positional = False
         if all_positional:
             return []
         if distinct:
@@ -464,15 +496,13 @@ class Planner:
                             "appear in the select list")
         hidden = []
         for sort_item in order_by:
-            expr = sort_item.expr
-            if isinstance(expr, A.Literal) and isinstance(expr.value, int) \
-                    and not isinstance(expr.value, bool):
-                hidden.append(project_exprs[expr.value - 1])
-            elif isinstance(expr, A.ColumnRef) and len(expr.parts) == 1 \
-                    and expr.parts[0].lower() in aliases:
-                hidden.append(project_exprs[aliases.index(expr.parts[0].lower())])
+            kind, value = _sort_item_target(sort_item.expr, items, aliases)
+            if kind == "position":
+                hidden.append(project_exprs[value - 1])
+            elif kind == "alias":
+                hidden.append(project_exprs[value])
             else:
-                hidden.append(compiler.compile(expr))
+                hidden.append(compiler.compile(value))
         return hidden
 
     # ------------------------------------------------------------------
@@ -656,6 +686,24 @@ class Planner:
         else:
             leftover.extend(spanning)
 
+        # Merge join: preferred when both inputs are base-table leaves with
+        # an existing sorted index on their (single) join key — the ordered
+        # scans make the join one synchronized pass and rescans free.
+        if (self.enable_mergejoin and node.kind in ("inner", "cross")
+                and len(key_pairs) + len(where_keys) == 1):
+            pair = key_pairs[0] if key_pairs else where_keys[0][2]
+            merge = self._try_merge_join(left_plan, right_plan, pair,
+                                         residual_on, on_scope)
+            if merge is not None:
+                residual_ast = conjoin(residual_on)
+                residual_info = (column_bindings(residual_ast, on_scope)
+                                 if residual_ast is not None else None)
+                stable = (left_stable and right_stable
+                          and (residual_info is None
+                               or not (residual_info.outer
+                                       or residual_info.unknown)))
+                return merge, leftover, stable
+
         can_hash = (self.enable_hashjoin
                     and node.kind in ("inner", "left", "cross")
                     and bool(key_pairs or where_keys)
@@ -725,6 +773,51 @@ class Planner:
                        or not (residual_info.outer or residual_info.unknown)))
         return plan, leftover, stable
 
+    def _try_merge_join(self, left_plan, right_plan,
+                        pair: tuple[A.Expr, A.Expr], residual_on: list,
+                        on_scope: Scope) -> Optional[MergeJoinPlan]:
+        """A MergeJoinPlan when both join inputs are non-lateral base-table
+        leaves whose single-column join keys have an *existing* ascending
+        sorted index (declared via CREATE INDEX or left behind by an
+        earlier ordered scan) — else None.  The leaves' scans are swapped
+        for ordered index scans; pushed-down leaf filters survive (a
+        filtered subsequence of an ordered stream stays ordered)."""
+        left_ast, right_ast = pair
+        sides = []
+        for leaf, ast in ((left_plan, left_ast), (right_plan, right_ast)):
+            if not isinstance(leaf, FromLeafPlan) or leaf.lateral:
+                return None
+            source = leaf.source
+            if not isinstance(source, SeqScanPlan):
+                return None
+            if not isinstance(ast, A.ColumnRef):
+                return None
+            try:
+                level, rel_index, col_index, fields = \
+                    on_scope.resolve(ast.parts)
+            except NameResolutionError:
+                return None
+            if level != 0 or rel_index != leaf.rel_index or fields:
+                return None
+            table = self.catalog.tables.get(source.table_name)
+            if table is None or table.sorted_index_if_exists(
+                    (col_index,), (False,)) is None:
+                return None
+            sides.append((leaf, source, col_index))
+        for leaf, source, col_index in sides:
+            leaf.source = IndexRangeScanPlan(
+                source.table_name, source.output_columns,
+                (col_index,), (False,), None, None)
+        compiler = ExprCompiler(on_scope, self)
+        left_key = compiler.compile(left_ast)
+        right_key = compiler.compile(right_ast)
+        residual_ast = conjoin(residual_on)
+        residual = (compiler.compile(residual_ast)
+                    if residual_ast is not None else None)
+        key_display = f"{_display_expr(left_ast)} = {_display_expr(right_ast)}"
+        return MergeJoinPlan(left_plan, right_plan, left_key, right_key,
+                             residual, compiler.subplans, key_display)
+
     def _equi_key(self, conjunct: A.Expr, left_slots: frozenset,
                   right_slots: frozenset, scope: Scope):
         """``(left_expr, right_expr)`` when *conjunct* is an equality whose
@@ -762,9 +855,15 @@ class Planner:
 
     def _try_index_pushdown(self, where: A.Expr, leaf: FromLeafPlan,
                             scope: Scope):
-        """Turn ``col = expr`` conjuncts into a hash-index scan when *expr*
-        provably never references the scanned relation.  Returns the
-        (possibly new) leaf plan and the residual WHERE expression."""
+        """Access-path selection for a single base-table FROM.
+
+        Equality conjuncts ``col = expr`` (where *expr* provably never
+        references the scanned relation — correlated keys included) become
+        a hash-index scan; failing that, range conjuncts
+        ``col < / <= / > / >= expr`` and ``col BETWEEN lo AND hi`` become a
+        bisect-backed :class:`~repro.sql.executor.scan.IndexRangeScanPlan`.
+        Returns the (possibly new) leaf plan and the residual WHERE.
+        """
         from .executor.scan import IndexScanPlan
 
         source = leaf.source
@@ -774,6 +873,20 @@ class Planner:
         key_exprs = []
         residual: list[A.Expr] = []
         compiler = ExprCompiler(scope, self)
+
+        def independent(value_side: A.Expr):
+            """Compile *value_side* when it provably never reads the
+            scanned relation; None otherwise."""
+            hits: list = []
+            scope.observer = lambda rel, col: hits.append((rel, col))
+            try:
+                compiled = compiler.compile(value_side)
+            except NameResolutionError:
+                return None
+            finally:
+                scope.observer = None
+            return None if hits else compiled
+
         for conjunct in conjuncts:
             pushed = False
             if isinstance(conjunct, A.BinaryOp) and conjunct.op == "=":
@@ -782,33 +895,165 @@ class Planner:
                     column = self._leaf_column(column_side, scope)
                     if column is None or column in key_columns:
                         continue
-                    hits: list = []
-                    scope.observer = lambda rel, col: hits.append((rel, col))
-                    try:
-                        compiled = compiler.compile(value_side)
-                    except NameResolutionError:
+                    compiled = independent(value_side)
+                    if compiled is None:
                         continue
-                    finally:
-                        scope.observer = None
-                    if hits:
-                        continue  # value expression touches the relation
                     key_columns.append(column)
                     key_exprs.append(compiled)
                     pushed = True
                     break
             if not pushed:
                 residual.append(conjunct)
-        if not key_columns:
-            return leaf, where
-        index_plan = IndexScanPlan(source.table_name, source.output_columns,
-                                   key_columns, key_exprs, compiler.subplans)
+        if key_columns:
+            index_plan = IndexScanPlan(source.table_name,
+                                       source.output_columns,
+                                       key_columns, key_exprs,
+                                       compiler.subplans)
+            new_leaf = FromLeafPlan(leaf.rel_index,
+                                    len(source.output_columns),
+                                    index_plan, lateral=False)
+            return new_leaf, conjoin(residual)
+        if self.enable_rangescan:
+            range_leaf, residual = self._try_range_pushdown(
+                residual, leaf, source, scope, compiler, independent)
+            if range_leaf is not None:
+                return range_leaf, conjoin(residual)
+        return leaf, where
+
+    _RANGE_OPS = {"<": ("upper", False), "<=": ("upper", True),
+                  ">": ("lower", False), ">=": ("lower", True)}
+    _FLIPPED_OPS = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+    def _try_range_pushdown(self, conjuncts: list, leaf: FromLeafPlan,
+                            source: SeqScanPlan, scope: Scope,
+                            compiler: ExprCompiler, independent):
+        """Accumulate per-column lower/upper bounds from range conjuncts
+        and emit an IndexRangeScan for the best-bounded column.  A bound
+        expression must not read the scanned relation and must keep its
+        evaluation count when hoisted from per-row WHERE to per-open probe
+        (``column_bindings``'s ``unknown`` oracle rejects volatile and
+        user-defined calls and subqueries).  Returns
+        ``(new leaf | None, residual conjuncts)``."""
+        bounds: dict[int, dict] = {}      # column -> side -> (expr, incl, disp)
+        consumed: dict[int, list] = {}    # column -> conjuncts it absorbed
+        order: list[int] = []
+        residual: list[A.Expr] = []
+
+        def bindable(value_side: A.Expr):
+            if column_bindings(value_side, scope).unknown:
+                return None  # volatile / user call / subquery: stays put
+            return independent(value_side)
+
+        for conjunct in conjuncts:
+            placed = False
+            if isinstance(conjunct, A.BinaryOp) \
+                    and conjunct.op in self._RANGE_OPS:
+                attempts = ((conjunct.left, conjunct.right, conjunct.op),
+                            (conjunct.right, conjunct.left,
+                             self._FLIPPED_OPS[conjunct.op]))
+                for column_side, value_side, op in attempts:
+                    column = self._leaf_column(column_side, scope)
+                    if column is None:
+                        continue
+                    side, inclusive = self._RANGE_OPS[op]
+                    if side in bounds.get(column, {}):
+                        continue  # first bound wins; extras stay in WHERE
+                    compiled = bindable(value_side)
+                    if compiled is None:
+                        continue
+                    entry = bounds.setdefault(column, {})
+                    if not entry:
+                        order.append(column)
+                    entry[side] = (compiled, inclusive,
+                                   _display_expr(value_side))
+                    consumed.setdefault(column, []).append(conjunct)
+                    placed = True
+                    break
+            elif isinstance(conjunct, A.Between) and not conjunct.negated:
+                column = self._leaf_column(conjunct.operand, scope)
+                if column is not None and not bounds.get(column):
+                    low = bindable(conjunct.low)
+                    high = bindable(conjunct.high)
+                    if low is not None and high is not None:
+                        order.append(column)
+                        bounds[column] = {
+                            "lower": (low, True, _display_expr(conjunct.low)),
+                            "upper": (high, True,
+                                      _display_expr(conjunct.high)),
+                        }
+                        consumed.setdefault(column, []).append(conjunct)
+                        placed = True
+            if not placed:
+                residual.append(conjunct)
+        if not order:
+            return None, conjuncts
+        # Prefer a column bounded on both sides (tightest bisect window).
+        chosen = next((c for c in order if len(bounds[c]) == 2), order[0])
+        for column in order:
+            if column != chosen:
+                residual.extend(consumed[column])
+        entry = bounds[chosen]
+        range_plan = IndexRangeScanPlan(
+            source.table_name, source.output_columns, (chosen,), (False,),
+            entry.get("lower"), entry.get("upper"), False, compiler.subplans)
         new_leaf = FromLeafPlan(leaf.rel_index, len(source.output_columns),
-                                index_plan, lateral=False)
-        remaining: Optional[A.Expr] = None
-        for conjunct in residual:
-            remaining = conjunct if remaining is None \
-                else A.BinaryOp("and", remaining, conjunct)
-        return new_leaf, remaining
+                                range_plan, lateral=False)
+        return new_leaf, residual
+
+    def _eliminate_sort(self, order_by: list, items: list,
+                        leaf: FromLeafPlan, scope: Scope) -> bool:
+        """Swap the leaf's scan for an ordered index scan when an existing
+        sorted index already delivers the requested ORDER BY (tracking
+        ASC/DESC per key, default NULLS placement only), so the planner
+        can drop the Sort node.  True on success."""
+        aliases = [(_derive_name(i) or "").lower() for i in items]
+        wanted: list[tuple[int, bool]] = []
+        for sort_item in order_by:
+            kind, value = _sort_item_target(sort_item.expr, items, aliases)
+            if kind == "position":
+                if not 1 <= value <= len(items):
+                    return False  # keep the sort path's range error
+                expr = items[value - 1].expr
+            elif kind == "alias":
+                expr = items[value].expr
+            else:
+                expr = value
+            if not isinstance(expr, A.ColumnRef):
+                return False
+            try:
+                level, rel_index, col_index, fields = scope.resolve(expr.parts)
+            except NameResolutionError:
+                return False
+            if level != 0 or rel_index != leaf.rel_index or fields:
+                return False
+            descending = sort_item.descending
+            if sort_item.nulls_first is not None \
+                    and sort_item.nulls_first != descending:
+                return False  # non-default NULLS placement: keep the sort
+            wanted.append((col_index, descending))
+        source = leaf.source
+        if isinstance(source, IndexRangeScanPlan):
+            # A range scan already delivers its key column in order; a DESC
+            # request just flips the iteration direction.
+            if len(source.key_columns) == 1 and len(wanted) == 1 \
+                    and wanted[0][0] == source.key_columns[0] \
+                    and not source.key_desc[0]:
+                source.reverse = wanted[0][1]
+                return True
+            return False
+        if not isinstance(source, SeqScanPlan):
+            return False
+        table = self.catalog.tables.get(source.table_name)
+        if table is None:
+            return False
+        found = table.find_ordered_index(wanted)
+        if found is None:
+            return False
+        index, reverse = found
+        leaf.source = IndexRangeScanPlan(
+            source.table_name, source.output_columns,
+            index.columns, index.descending, None, None, reverse)
+        return True
 
     @staticmethod
     def _leaf_column(expr: A.Expr, scope: Scope) -> Optional[int]:
@@ -1094,6 +1339,42 @@ class Planner:
 # ---------------------------------------------------------------------------
 # Helpers
 # ---------------------------------------------------------------------------
+
+
+def _sort_item_target(expr: A.Expr, items: list, aliases: list):
+    """Classify an ORDER BY expression against the select list — the one
+    resolution rule shared by hidden-key compilation, positional sorting
+    and sort elimination, which must agree or an eliminated sort could
+    order by a different column than the Sort it replaces.
+
+    Returns ``("position", ordinal)`` for a 1-based integer literal,
+    ``("alias", item index)`` for a bare name matching a select alias,
+    else ``("expr", expr)``.
+    """
+    if isinstance(expr, A.Literal) and isinstance(expr.value, int) \
+            and not isinstance(expr.value, bool):
+        return "position", expr.value
+    if isinstance(expr, A.ColumnRef) and len(expr.parts) == 1 \
+            and expr.parts[0].lower() in aliases:
+        return "alias", aliases.index(expr.parts[0].lower())
+    return "expr", expr
+
+
+def _constant_topn_count(stmt: A.SelectStmt) -> Optional[int]:
+    """``limit + offset`` when both are non-negative integer literals
+    (LIMIT required), else None — only constants let the planner bound the
+    Top-N heap without changing when the bound expressions run."""
+    limit = stmt.limit
+    if not (isinstance(limit, A.Literal) and type(limit.value) is int
+            and limit.value >= 0):
+        return None
+    offset = stmt.offset
+    if offset is None:
+        return limit.value
+    if not (isinstance(offset, A.Literal) and type(offset.value) is int
+            and offset.value >= 0):
+        return None
+    return limit.value + offset.value
 
 
 def _flatten_union(body, op: str, cte_name: str) -> list:

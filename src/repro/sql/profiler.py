@@ -57,6 +57,16 @@ RECURSION_DEDUP_DROPPED = "recursion dedup dropped rows"
 BATCHED_UDF_BATCHES = "batched udf batches"
 BATCHED_UDF_ROWS = "batched udf rows"
 BATCHED_UDF_DISTINCT = "batched udf distinct calls"
+#: Ordered access paths: one "build" per sorted index constructed (lazily
+#: by a scan, or eagerly by CREATE INDEX), one "scan" per IndexRangeScan
+#: open (each correlated re-probe is one open), one TopN bump per bounded
+#: heap evaluation ("input rows" counts what streamed through the heap
+#: instead of a full sort), and one merge-join bump per operator open.
+SORTED_INDEX_BUILDS = "sorted index builds"
+INDEX_RANGE_SCANS = "index range scans"
+TOPN_SCANS = "topn scans"
+TOPN_INPUT_ROWS = "topn input rows"
+MERGEJOIN_SCANS = "merge join scans"
 
 
 class Profiler:

@@ -16,10 +16,12 @@ crosses an 8 KiB page boundary.  With PostgreSQL's 24-byte tuple header and
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from bisect import bisect_left, bisect_right
+from operator import itemgetter
+from typing import Iterable, Optional, Sequence
 
-from .errors import CatalogError
-from .values import Value, value_byte_size
+from .errors import CatalogError, TypeError_
+from .values import Value, _Reversed, key_class, sort_key, value_byte_size
 
 PAGE_SIZE = 8192
 ROW_OVERHEAD = 24  # PostgreSQL HeapTupleHeader is 23 bytes + padding
@@ -85,6 +87,164 @@ class TupleStore:
         return iter(self.rows)
 
 
+#: Sort-key prefix of SQL NULL — NULLs sit at the tail of every ascending
+#: key column (see :func:`repro.sql.values.sort_key`), so bounded range
+#: probes can exclude them with one bisect.
+NULL_SORT_KEY = sort_key(None)
+
+
+class SortedIndex:
+    """A bisect-backed ordered access path over one or more columns.
+
+    ``keys`` is a sorted list of per-row key tuples (one
+    :func:`~repro.sql.values.sort_key` component per index column, wrapped
+    in :class:`~repro.sql.values._Reversed` for DESC columns) and ``rows``
+    the parallel list of heap tuples.  Ascending columns therefore deliver
+    NULLS LAST and descending columns NULLS FIRST — PostgreSQL's defaults —
+    and a reversed scan of the whole structure yields the fully flipped
+    ordering.
+
+    The structure is maintained incrementally by :class:`HeapTable` on
+    every DML path (INSERT/UPDATE/DELETE/TRUNCATE): point maintenance is
+    O(log n) to locate plus O(n) list shift, against O(n log n) for the
+    rebuild that a version-counter invalidation (the hash
+    ``equality_index`` strategy) would pay per probe after DML.
+
+    Per-column comparability classes are tracked so range probes can raise
+    the same :class:`~repro.sql.errors.TypeError_` a scan-and-compare
+    evaluation of the predicate would raise, instead of silently bisecting
+    across SQL-incomparable values (see :meth:`check_probe`).
+    """
+
+    __slots__ = ("columns", "descending", "keys", "rows", "pinned",
+                 "_classes")
+
+    def __init__(self, columns: Sequence[int], descending: Sequence[bool],
+                 rows: Iterable[tuple] = ()):
+        self.columns = tuple(columns)
+        self.descending = tuple(bool(d) for d in descending)
+        self.keys: list[tuple] = []
+        self.rows: list[tuple] = []
+        #: True for CREATE INDEX declarations: a pinned index survives
+        #: bulk DML by rebuilding eagerly; an unpinned (lazily
+        #: auto-created) one is dropped instead and rebuilt on its next
+        #: probe — if that ever comes.
+        self.pinned = False
+        #: Per column: comparability class -> [live count, display name].
+        self._classes: list[dict] = [dict() for _ in self.columns]
+        self.rebuild(rows)
+
+    # -- keys ------------------------------------------------------------
+
+    def key_of(self, row: Sequence[Value]) -> tuple:
+        parts = []
+        for column, desc in zip(self.columns, self.descending):
+            part = sort_key(row[column])
+            parts.append(_Reversed(part) if desc else part)
+        return tuple(parts)
+
+    def nonnull_end(self) -> int:
+        """Index of the first all-trailing NULL-key row (single ascending
+        column only): the exclusive upper bound of ``col > x`` probes."""
+        return bisect_left(self.keys, (NULL_SORT_KEY,))
+
+    # -- maintenance -----------------------------------------------------
+
+    def rebuild(self, rows: Iterable[tuple]) -> None:
+        # One key_of per row: sort decorated pairs on the key alone (ties
+        # must not fall through to comparing raw rows, which can raise).
+        pairs = sorted(((self.key_of(row), row) for row in rows),
+                       key=itemgetter(0))
+        self.keys = [key for key, _ in pairs]
+        self.rows = [row for _, row in pairs]
+        for classes in self._classes:
+            classes.clear()
+        for row in self.rows:
+            self._track(row, +1)
+
+    def insert(self, row: tuple) -> None:
+        key = self.key_of(row)
+        pos = bisect_right(self.keys, key)
+        self.keys.insert(pos, key)
+        self.rows.insert(pos, row)
+        self._track(row, +1)
+
+    def remove(self, row: tuple) -> bool:
+        """Remove one entry for *row*; False when it cannot be located
+        (the caller then falls back to a full rebuild)."""
+        key = self.key_of(row)
+        lo = bisect_left(self.keys, key)
+        hi = bisect_right(self.keys, key)
+        span = range(lo, hi)
+        for pos in span:  # identity first: DML passes the stored tuples
+            if self.rows[pos] is row:
+                return self._delete_at(pos, row)
+        for pos in span:
+            if self.rows[pos] == row:
+                return self._delete_at(pos, row)
+        return False
+
+    def _delete_at(self, pos: int, row: tuple) -> bool:
+        del self.keys[pos]
+        del self.rows[pos]
+        self._track(row, -1)
+        return True
+
+    def _track(self, row: tuple, delta: int) -> None:
+        for position, column in enumerate(self.columns):
+            value = row[column]
+            if value is None:
+                continue  # NULL never participates in comparisons
+            kind = key_class(value)
+            entry = self._classes[position].setdefault(
+                kind, [0, type(value).__name__])
+            entry[0] += delta
+
+    # -- probing ---------------------------------------------------------
+
+    def probe_classes(self, position: int) -> dict:
+        """Live comparability classes of key column *position*:
+        ``class -> display type name`` (empty = only NULLs / no rows)."""
+        return {kind: display
+                for kind, (count, display) in self._classes[position].items()
+                if count > 0}
+
+    def check_probe(self, position: int, value: Value) -> None:
+        """Raise like a scan-and-compare would: a probe value whose class
+        differs from any live key value's class is SQL-incomparable."""
+        kind = key_class(value)
+        for other, display in self.probe_classes(position).items():
+            if other != kind:
+                raise TypeError_(f"cannot compare {display} with "
+                                 f"{type(value).__name__}")
+
+    def range_positions(self, lower, upper) -> tuple[int, int]:
+        """``[start, stop)`` positions for a single-ascending-column range.
+
+        *lower* / *upper* are ``(value, inclusive)`` or None for an open
+        end.  NULL keys sit past ``nonnull_end()`` and are excluded
+        whenever at least one bound is given (``col > x`` is never TRUE
+        for NULL).
+        """
+        start, stop = 0, len(self.keys)
+        if upper is not None:
+            value, inclusive = upper
+            probe = (sort_key(value),)
+            stop = (bisect_right(self.keys, probe) if inclusive
+                    else bisect_left(self.keys, probe))
+        elif lower is not None:
+            stop = self.nonnull_end()
+        if lower is not None:
+            value, inclusive = lower
+            probe = (sort_key(value),)
+            start = (bisect_left(self.keys, probe) if inclusive
+                     else bisect_right(self.keys, probe))
+        return start, max(start, stop)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
 class HeapTable:
     """A named base table: column schema plus a tuple store."""
 
@@ -100,6 +260,12 @@ class HeapTable:
         self._store = TupleStore(buffers, tracked=True)
         self._version = 0
         self._indexes: dict[tuple[int, ...], tuple[int, dict]] = {}
+        #: Sorted indexes, keyed by (column positions, descending flags).
+        #: Unlike the version-invalidated hash indexes above, these are
+        #: maintained incrementally by every DML method — probing them
+        #: never pays a rebuild after DML.
+        self._sorted: dict[tuple[tuple[int, ...], tuple[bool, ...]],
+                           SortedIndex] = {}
 
     @property
     def rows(self) -> list[tuple[Value, ...]]:
@@ -122,12 +288,18 @@ class HeapTable:
             raise CatalogError(f"table {self.name} has no column {name!r}")
 
     def insert(self, row: Sequence[Value]) -> None:
+        row_t = self._prepare_row(row)
+        self._store.append(row_t)
+        self._version += 1
+        for index in self._sorted.values():
+            index.insert(row_t)
+
+    def _prepare_row(self, row: Sequence[Value]) -> tuple:
         if len(row) != len(self.column_names):
             raise CatalogError(
                 f"table {self.name} has {len(self.column_names)} columns, "
                 f"got {len(row)} values")
-        self._store.append(row)
-        self._version += 1
+        return row if type(row) is tuple else tuple(row)
 
     def equality_index(self, columns: tuple[int, ...]) -> dict:
         """A hash index ``key tuple -> [rows]`` over *columns*.
@@ -150,38 +322,139 @@ class HeapTable:
         self._indexes[columns] = (self._version, index)
         return index
 
+    # -- sorted indexes --------------------------------------------------
+
+    def sorted_index(self, columns: Sequence[int],
+                     descending: Optional[Sequence[bool]] = None
+                     ) -> SortedIndex:
+        """The sorted index over *columns* (per-column *descending* flags,
+        default all-ascending), built lazily like :meth:`equality_index`
+        and then maintained incrementally by every DML method.  Serves
+        range probes, ordered delivery (sort elimination) and merge-join
+        inputs."""
+        key = self._sorted_key(columns, descending)
+        index = self._sorted.get(key)
+        if index is None:
+            index = SortedIndex(key[0], key[1], self._store.rows)
+            self._sorted[key] = index
+        return index
+
+    def sorted_index_if_exists(self, columns: Sequence[int],
+                               descending: Optional[Sequence[bool]] = None
+                               ) -> Optional[SortedIndex]:
+        return self._sorted.get(self._sorted_key(columns, descending))
+
+    def drop_sorted_index(self, columns: Sequence[int],
+                          descending: Optional[Sequence[bool]] = None) -> None:
+        self._sorted.pop(self._sorted_key(columns, descending), None)
+
+    def find_ordered_index(self, col_desc: Sequence[tuple[int, bool]]
+                           ) -> Optional[tuple[SortedIndex, bool]]:
+        """An existing sorted index delivering rows in the order described
+        by *col_desc* — a ``(column, descending)`` sequence — as a prefix
+        of its key, either scanning forward or fully reversed.  Returns
+        ``(index, reverse)`` or None.  The planner's sort-elimination pass
+        only consults *existing* indexes: building one on demand would be
+        the very sort being eliminated."""
+        want_cols = tuple(column for column, _ in col_desc)
+        want_desc = tuple(bool(desc) for _, desc in col_desc)
+        n = len(col_desc)
+        for (cols, desc), index in self._sorted.items():
+            if cols[:n] != want_cols:
+                continue
+            if desc[:n] == want_desc:
+                return index, False
+            if tuple(not d for d in desc[:n]) == want_desc:
+                return index, True
+        return None
+
+    @staticmethod
+    def _sorted_key(columns: Sequence[int],
+                    descending: Optional[Sequence[bool]]
+                    ) -> tuple[tuple[int, ...], tuple[bool, ...]]:
+        cols = tuple(columns)
+        if descending is None:
+            return cols, (False,) * len(cols)
+        return cols, tuple(bool(d) for d in descending)
+
     def insert_many(self, rows: Iterable[Sequence[Value]]) -> int:
-        count = 0
-        for row in rows:
-            self.insert(row)
-            count += 1
-        return count
+        """Bulk insert: indexes are maintained once for the whole batch,
+        so a large load takes the O(n log n) rebuild path instead of one
+        O(n) list shift per row (quadratic).  Every row is validated
+        before any is appended — a mid-batch arity error must not leave
+        rows in the heap that the indexes never saw."""
+        staged = [self._prepare_row(row) for row in rows]
+        for row_t in staged:
+            self._store.append(row_t)
+        if staged:
+            self._version += 1
+            self._maintain_sorted(added=staged)
+        return len(staged)
 
     def delete_where(self, predicate) -> int:
         """Delete rows for which *predicate(row)* is truthy; return count."""
-        kept = [r for r in self._store.rows if not predicate(r)]
-        deleted = len(self._store.rows) - len(kept)
+        kept, dropped = [], []
+        for row in self._store.rows:
+            (dropped if predicate(row) else kept).append(row)
         self._store.rows = kept
         self._version += 1
-        return deleted
+        self._maintain_sorted(removed=dropped)
+        return len(dropped)
 
     def update_where(self, predicate, updater) -> int:
         """Replace rows matching *predicate* with *updater(row)*."""
-        count = 0
         out = []
+        removed, added = [], []
         for row in self._store.rows:
             if predicate(row):
-                out.append(tuple(updater(row)))
-                count += 1
+                new_row = tuple(updater(row))
+                removed.append(row)
+                added.append(new_row)
+                out.append(new_row)
             else:
                 out.append(row)
         self._store.rows = out
         self._version += 1
-        return count
+        self._maintain_sorted(removed=removed, added=added)
+        return len(added)
 
     def truncate(self) -> None:
         self._store.rows = []
         self._version += 1
+        for index in self._sorted.values():
+            index.rebuild(())
+
+    def _maintain_sorted(self, removed: Sequence[tuple] = (),
+                         added: Sequence[tuple] = ()) -> None:
+        """Apply a DML delta to every sorted index; an entry that cannot be
+        located degrades to a full rebuild rather than going stale.
+
+        Each point remove/insert pays an O(n) list shift, so a bulk
+        UPDATE/DELETE applied row by row would be quadratic; when the
+        delta is a sizeable fraction of the index, one O(n log n) rebuild
+        is cheaper and is used instead — and an *unpinned* (lazily
+        auto-created) index is simply dropped at that point, deferring
+        the rebuild to its next probe, which may never come.
+        """
+        if not self._sorted or not (removed or added):
+            return
+        delta = len(removed) + len(added)
+        dropped: list = []
+        for key, index in self._sorted.items():
+            if delta > max(16, (len(index) + len(added)) // 8):
+                if index.pinned:
+                    index.rebuild(self._store.rows)
+                else:
+                    dropped.append(key)
+                continue
+            ok = all(index.remove(row) for row in removed)
+            if ok:
+                for row in added:
+                    index.insert(row)
+            else:
+                index.rebuild(self._store.rows)
+        for key in dropped:
+            del self._sorted[key]
 
     def __len__(self) -> int:
         return len(self._store.rows)

@@ -107,6 +107,22 @@ def comparison_class(value: Value) -> str:
     return type(value).__name__
 
 
+def key_class(value: Value):
+    """Comparability class of an index/join-key value.
+
+    Index lookups on incomparable types would silently find nothing where a
+    scan-and-compare raises; recording each key's class at build time lets
+    probes raise the same type error instead.  Refines
+    :func:`comparison_class` in one way: rows class by arity, since
+    :func:`compare` rejects rows of different arity too.  Shared by the
+    hash-join build table and :class:`repro.sql.storage.SortedIndex`.
+    """
+    kind = comparison_class(value)
+    if kind == "row":
+        return ("row", len(value))
+    return kind
+
+
 def _comparable(a: Value, b: Value) -> None:
     """Raise unless *a* and *b* belong to mutually comparable SQL types."""
     if comparison_class(a) != comparison_class(b):
@@ -226,6 +242,13 @@ def sort_key(value: Value):
         return (0, 3, tuple(sort_key(v) for v in value))
     if isinstance(value, bool):
         return (0, 0, value)
+    if isinstance(value, float) and value != value:
+        # IEEE NaN breaks trichotomy (every ordered comparison is False),
+        # which would leave sorted structures — ORDER BY output, the
+        # bisect invariant of SortedIndex — silently inconsistent.  Mirror
+        # compare(): all NaNs are one equality class, greater than every
+        # other number (1.5 slots after the numeric rank, before text).
+        return (0, 1.5, 0)
     return (0, _SORT_RANK[type(value)], value)
 
 

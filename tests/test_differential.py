@@ -14,7 +14,12 @@ results:
   scalar-subquery path and the interpreter, including NULL arguments and
   zero-row inputs,
 * join queries executed by the hash-join operator *and* the seed
-  nested-loop path (inner/left/cross, NULL join keys).
+  nested-loop path (inner/left/cross, NULL join keys),
+* ordered access paths — IndexRangeScan, index-ordered delivery (sort
+  elimination), the bounded-heap TopN and the merge join — against
+  SeqScan + full Sort and the other join strategies, on randomized data
+  with DESC orderings, duplicate keys, NULL keys, empty ranges, LIMIT 0
+  and DML interleaved between probes.
 
 It also pins the two engine bugs this differential setup surfaced: the
 missing ``^`` power operator and the absent runaway-loop statement budget.
@@ -646,3 +651,167 @@ class TestPowerOperatorEdgeValues:
         import math
         value = db.query_value("SELECT 2 ^ (1e308 * 10 - 1e308 * 10)")
         assert math.isnan(value)
+
+
+# ---------------------------------------------------------------------------
+# Ordered access paths vs. scan-and-sort
+# ---------------------------------------------------------------------------
+
+
+def _ordered_db(seed: int, rows: int = 400) -> Database:
+    """Randomized table with duplicate keys and NULLs in every column."""
+    import random as _random
+
+    rng = _random.Random(seed)
+    db = Database(seed=seed)
+    db.execute("CREATE TABLE d(k int, v int, u int)")
+    table = db.catalog.get_table("d")
+    for i in range(rows):
+        k = None if rng.random() < 0.1 else rng.randrange(40)
+        v = None if rng.random() < 0.1 else rng.randrange(1000)
+        table.insert((k, v, i))  # u is unique: a deterministic tiebreak
+    return db
+
+
+def _baseline(db: Database) -> None:
+    """Force the seed access paths (SeqScan + full Sort + hash/nested)."""
+    db.planner.enable_rangescan = False
+    db.planner.enable_sort_elim = False
+    db.planner.enable_topn = False
+    db.planner.enable_mergejoin = False
+    db.clear_plan_cache()
+
+
+class TestOrderedPathsDifferential:
+    """IndexRangeScan / TopN / MergeJoin vs. SeqScan + Sort / NestLoop on
+    randomized data — DESC, duplicate keys, NULL keys, empty ranges and
+    LIMIT 0 included.  ORDER BY keys always end in the unique column so
+    tie order is pinned and row-for-row comparison is exact."""
+
+    RANGE_QUERIES = [
+        "SELECT k, v, u FROM d WHERE k >= 10 AND k < 20 ORDER BY u",
+        "SELECT k, v, u FROM d WHERE k > 35 ORDER BY u",
+        "SELECT k, v, u FROM d WHERE k <= 3 ORDER BY u",
+        "SELECT k, v, u FROM d WHERE v BETWEEN 100 AND 200 ORDER BY u",
+        "SELECT k, v, u FROM d WHERE k > 20 AND k < 10 ORDER BY u",  # empty
+        "SELECT k, v, u FROM d WHERE k >= 39 AND k <= 39 ORDER BY u",
+    ]
+
+    @pytest.mark.parametrize("seed", [3, 11, 2024])
+    def test_range_scans_agree(self, seed):
+        db = _ordered_db(seed)
+        fast = [db.query_all(sql) for sql in self.RANGE_QUERIES]
+        _baseline(db)
+        slow = [db.query_all(sql) for sql in self.RANGE_QUERIES]
+        assert fast == slow
+
+    ORDER_QUERIES = [
+        "SELECT k, u FROM d ORDER BY k, u",
+        "SELECT k, u FROM d ORDER BY k DESC, u DESC",
+        "SELECT k, u FROM d ORDER BY k, u LIMIT 25",
+        "SELECT k, u FROM d ORDER BY k DESC, u DESC LIMIT 25",
+        "SELECT k, u FROM d ORDER BY k, u LIMIT 0",
+        "SELECT k, u FROM d ORDER BY k, u LIMIT 10 OFFSET 390",
+        "SELECT k, u FROM d ORDER BY u LIMIT 7",
+        "SELECT k, u FROM d ORDER BY u DESC LIMIT 7",
+    ]
+
+    @pytest.mark.parametrize("seed", [3, 11, 2024])
+    def test_ordered_delivery_and_topn_agree(self, seed):
+        db = _ordered_db(seed)
+        db.execute("CREATE INDEX d_ku ON d(k, u)")
+        db.execute("CREATE INDEX d_u ON d(u)")
+        fast = [db.query_all(sql) for sql in self.ORDER_QUERIES]
+        explains = [db.explain(sql) for sql in self.ORDER_QUERIES]
+        _baseline(db)
+        slow = [db.query_all(sql) for sql in self.ORDER_QUERIES]
+        assert fast == slow
+        # The index really served the fully-matching orderings.
+        assert "IndexRangeScan" in explains[0]
+        assert "IndexRangeScan" in explains[1]
+
+    def test_topn_without_any_index_agrees(self):
+        db = _ordered_db(99)
+        sql = "SELECT k, v, u FROM d ORDER BY v DESC, u LIMIT 13"
+        assert "TopN" in db.explain(sql)
+        fast = db.query_all(sql)
+        _baseline(db)
+        assert fast == db.query_all(sql)
+
+    def test_prefix_elimination_is_order_correct(self):
+        """ORDER BY a prefix of a wider index: tie order is unspecified by
+        SQL, so assert the multiset and the ordering constraint instead of
+        row-for-row equality."""
+        db = _ordered_db(5)
+        db.execute("CREATE INDEX d_ku ON d(k, u)")
+        sql = "SELECT k FROM d ORDER BY k"
+        assert "Sort" not in db.explain(sql)
+        fast = db.query_all(sql)
+        keys = [row[0] for row in fast]
+        non_null = [key for key in keys if key is not None]
+        assert non_null == sorted(non_null)
+        assert all(key is None for key in keys[len(non_null):])
+        _baseline(db)
+        assert sorted(keys, key=lambda k: (k is None, k or 0)) == \
+            [row[0] for row in db.query_all(sql)]
+
+    @pytest.mark.parametrize("seed", [3, 11])
+    def test_merge_join_agrees_with_hash_and_nested_loop(self, seed):
+        import random as _random
+
+        rng = _random.Random(seed)
+        db = Database(seed=seed)
+        db.execute("CREATE TABLE l(k int, a int)")
+        db.execute("CREATE TABLE r(k int, b int)")
+        for i in range(150):
+            db.catalog.get_table("l").insert(
+                (None if rng.random() < 0.1 else rng.randrange(25), i))
+        for i in range(120):
+            db.catalog.get_table("r").insert(
+                (None if rng.random() < 0.1 else rng.randrange(25), i))
+        db.execute("CREATE INDEX l_k ON l(k)")
+        db.execute("CREATE INDEX r_k ON r(k)")
+        queries = [
+            "SELECT l.k, l.a, r.b FROM l JOIN r ON l.k = r.k "
+            "ORDER BY l.a, r.b",
+            "SELECT count(*) FROM l, r WHERE l.k = r.k AND l.a < r.b",
+            "SELECT count(*) FROM l JOIN r ON l.k = r.k AND l.a % 2 = 0",
+        ]
+        assert "MergeJoin" in db.explain(queries[0])
+        merge = [db.query_all(sql) for sql in queries]
+        db.planner.enable_mergejoin = False
+        db.clear_plan_cache()
+        hashed = [db.query_all(sql) for sql in queries]
+        db.planner.enable_hashjoin = False
+        db.planner.enable_pushdown = False
+        db.planner.enable_rangescan = False
+        db.planner.enable_sort_elim = False
+        db.planner.enable_topn = False
+        db.clear_plan_cache()
+        nested = [db.query_all(sql) for sql in queries]
+        assert merge == hashed == nested
+
+    def test_dml_between_probes_agrees(self):
+        """The incrementally-maintained index and a fresh scan must agree
+        after every DML statement of a mixed sequence."""
+        db = _ordered_db(17)
+        db.execute("CREATE INDEX d_v ON d(v)")
+        probe = "SELECT v, u FROM d WHERE v >= 250 AND v < 750 ORDER BY v, u"
+        statements = [
+            "DELETE FROM d WHERE v >= 300 AND v < 350",
+            "UPDATE d SET v = v + 17 WHERE v BETWEEN 500 AND 600",
+            "INSERT INTO d VALUES (1, 500, 9001)",
+            "UPDATE d SET v = NULL WHERE v >= 740",
+            "DELETE FROM d WHERE v IS NULL",
+        ]
+        for statement in statements:
+            db.execute(statement)
+            fast = db.query_all(probe)
+            db.planner.enable_rangescan = False
+            db.planner.enable_sort_elim = False
+            db.clear_plan_cache()
+            slow = db.query_all(probe)
+            db.planner.enable_rangescan = True
+            db.planner.enable_sort_elim = True
+            db.clear_plan_cache()
+            assert fast == slow, statement
