@@ -10,13 +10,16 @@ buffer-page accounting.
 from .engine import Database, Result
 from .errors import (CatalogError, CompileError, ExecutionError,
                      LoopNotSupportedError, NameResolutionError, ParseError,
-                     PlanError, PlsqlError, PlsqlRuntimeError, SqlError,
-                     TypeError_)
+                     PlanError, PlsqlError, PlsqlRuntimeError, SettingError,
+                     SqlError, TypeError_)
+from .session import Connection, Cursor, PreparedStatement
 from .values import Row, Value
 
 __all__ = [
     "Database", "Result", "Row", "Value",
+    "Connection", "Cursor", "PreparedStatement",
     "SqlError", "ParseError", "NameResolutionError", "PlanError",
     "ExecutionError", "TypeError_", "CatalogError", "PlsqlError",
     "PlsqlRuntimeError", "CompileError", "LoopNotSupportedError",
+    "SettingError",
 ]

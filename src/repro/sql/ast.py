@@ -456,6 +456,88 @@ class DropFunction:
     if_exists: bool = False
 
 
+# ---------------------------------------------------------------------------
+# Session statements: prepared statements, settings, EXPLAIN
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PrepareStmt:
+    """``PREPARE name [(type, ...)] AS statement``.
+
+    Registers *statement* (SELECT or DML with ``$n`` holes) under *name* in
+    the executing session.  The plan is cached on the handle and stamped
+    with the DDL generation and settings fingerprint, so stale handles
+    replan instead of returning stale results.
+    """
+
+    name: str
+    param_types: Optional[list[str]]
+    statement: "Statement"
+
+
+@dataclass
+class ExecuteStmt:
+    """``EXECUTE name [(expr, ...)]`` — run a prepared statement.
+
+    Argument expressions are evaluated without a row context (literals,
+    arithmetic, ``$n`` references to the outer call's parameters, scalar
+    subqueries) and bound to the prepared statement's parameters.
+    """
+
+    name: str
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class DeallocateStmt:
+    """``DEALLOCATE [PREPARE] (name | ALL)``; ``name`` is None for ALL."""
+
+    name: Optional[str] = None
+    if_exists: bool = False
+
+
+@dataclass
+class SetStmt:
+    """``SET [LOCAL] name (= | TO) (value | DEFAULT)``.
+
+    ``value`` is None for ``SET name = DEFAULT`` (equivalent to RESET).
+    ``local`` scopes the assignment to the enclosing script (reverted when
+    the script ends; a no-op with a notice outside one, like PostgreSQL's
+    SET LOCAL outside a transaction).
+    """
+
+    name: str
+    value: Optional[Expr]
+    local: bool = False
+
+
+@dataclass
+class ShowStmt:
+    """``SHOW name`` / ``SHOW ALL`` (``name`` is None for ALL)."""
+
+    name: Optional[str] = None
+
+
+@dataclass
+class ResetStmt:
+    """``RESET name`` / ``RESET ALL`` (``name`` is None for ALL)."""
+
+    name: Optional[str] = None
+
+
+@dataclass
+class ExplainStmt:
+    """``EXPLAIN statement`` — render the plan tree instead of running it.
+
+    Supports SELECT and EXECUTE (the latter shows the prepared handle's
+    *current* plan, after any replan forced by DDL or settings changes).
+    """
+
+    statement: "Statement"
+
+
 Statement = Union[SelectStmt, CreateTable, CreateType, CreateFunction,
                   CreateIndex, Insert, Update, Delete, DropTable,
-                  DropFunction, DropIndex]
+                  DropFunction, DropIndex, PrepareStmt, ExecuteStmt,
+                  DeallocateStmt, SetStmt, ShowStmt, ResetStmt, ExplainStmt]

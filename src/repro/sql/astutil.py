@@ -404,6 +404,61 @@ def max_param_index(stmt: A.SelectStmt) -> int:
     return best
 
 
+def references_table(node, table: str) -> bool:
+    """True when *node* (any AST statement/expression) names *table* in a
+    FROM clause anywhere — including CTE bodies and subqueries nested in
+    expressions.  Conservative on purpose: a CTE merely *shadowing* the
+    name still counts, so callers using this as a "reads the table" test
+    may over-approximate but never miss a read."""
+    from dataclasses import fields, is_dataclass
+    target = table.lower()
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if isinstance(current, A.TableName):
+            if current.name.lower() == target:
+                return True
+            continue
+        if is_dataclass(current) and not isinstance(current, type):
+            stack.extend(getattr(current, f.name) for f in fields(current))
+        elif isinstance(current, (list, tuple)):
+            stack.extend(current)
+        elif isinstance(current, dict):
+            stack.extend(current.values())
+    return False
+
+
+def statement_param_count(stmt: A.Statement) -> int:
+    """Highest ``$n`` used anywhere in a SELECT / INSERT / UPDATE / DELETE
+    statement (0 when parameter-free).  PREPARE uses this to derive the
+    parameter count a later EXECUTE must supply."""
+    if isinstance(stmt, A.SelectStmt):
+        return max_param_index(stmt)
+    if isinstance(stmt, A.Insert):
+        return max_param_index(stmt.source)
+    best = 0
+
+    def scan(expr: Optional[A.Expr]) -> None:
+        nonlocal best
+        if expr is None:
+            return
+        for node in walk_expr(expr):
+            if isinstance(node, A.Param):
+                best = max(best, node.index)
+            for _, sub in _subquery_fields(node):
+                best = max(best, max_param_index(sub))
+
+    if isinstance(stmt, A.Update):
+        for _, expr in stmt.assignments:
+            scan(expr)
+        scan(stmt.where)
+        return best
+    if isinstance(stmt, A.Delete):
+        scan(stmt.where)
+        return best
+    return 0
+
+
 def _walk_select(stmt: A.SelectStmt, visitor) -> None:
     def do_body(body):
         if isinstance(body, A.SetOp):

@@ -4,7 +4,8 @@ Execution life cycle (mirroring PostgreSQL, which is what makes the paper's
 cost accounting reproducible here):
 
 1. **Parse** — text to AST (only on plan-cache miss),
-2. **Plan** — AST to immutable plan tree (cached by SQL text),
+2. **Plan** — AST to immutable plan tree (cached by SQL text + the
+   plan-affecting settings fingerprint),
 3. **ExecutorStart** — instantiate the plan into per-execution state,
 4. **ExecutorRun** — pull all tuples,
 5. **ExecutorEnd** — tear the state down.
@@ -13,12 +14,25 @@ Every embedded-query evaluation performed by the PL/pgSQL interpreter runs
 through this same path, so steps 3 and 5 recur per evaluation — that is the
 ``f→Qi`` overhead of Section 1.  A compiled function is inlined into its
 calling query by the planner and thus passes through steps 1–3 exactly once.
+
+Statement dispatch is a single **parse → classify → dispatch** path: every
+statement kind (including SELECTs behind leading comments or parentheses)
+is parsed once and routed from its AST type, and plan-cache eligibility is
+an AST property (only ``SelectStmt`` plans are cached), not a prefix match
+on the SQL text.
+
+``Database.execute`` remains the thin compatibility facade over the layered
+session API in :mod:`repro.sql.session`: it runs every statement in the
+*root session*, whose settings overlay writes straight through to the
+global values.  ``Database.connect()`` opens an isolated session with its
+own settings overlay, notices, and prepared-statement registry.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Optional, Sequence
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from . import ast as A
 from .catalog import Catalog, FunctionDef
@@ -28,11 +42,22 @@ from .expr import EvalContext, ExprCompiler, Relation, RuntimeContext, Scope
 from .parser import parse_script, parse_statement
 from .planner import Planner
 from .profiler import (EXEC_END, EXEC_RUN, EXEC_START, PARSE, PLAN,
-                       PLAN_CACHE_HIT, PLAN_CACHE_MISS, PLAN_INSTANTIATIONS,
-                       SWITCH_Q_TO_F, Profiler)
+                       PLAN_CACHE_EVICTIONS, PLAN_CACHE_HIT, PLAN_CACHE_MISS,
+                       PLAN_INSTANTIATIONS, PREPARED_EXECUTIONS,
+                       SETTINGS_ASSIGNMENTS, SWITCH_Q_TO_F, Profiler)
+from .settings import SettingsRegistry
 from .storage import BufferManager
 from .types import cast_value
 from .values import Value
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .session import Connection
+
+#: Classification tags returned by the dispatch layer; cursors map them to
+#: PEP-249 ``description`` / ``rowcount`` semantics.
+ROWS = "rows"       # produces a result set (SELECT, VALUES, SHOW, EXPLAIN)
+COUNT = "count"     # DML returning an affected-row count
+UTILITY = "utility"  # DDL and session statements with no result
 
 
 class Result:
@@ -65,6 +90,48 @@ class Result:
         return f"Result({self.columns}, {len(self.rows)} rows)"
 
 
+class PlanCache:
+    """LRU cache of SELECT plans keyed by (SQL text, settings fingerprint).
+
+    The fingerprint component (see :meth:`repro.sql.settings.
+    SettingsRegistry.fingerprint`) makes plan-affecting SET statements —
+    and per-session overlays — safe without explicit invalidation: a plan
+    built under one combination of flags is simply invisible under any
+    other.  The LRU bound (``SET plan_cache_size = N``) keeps long-running
+    sessions from growing memory without bound; evictions are counted.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self):
+        self._entries: OrderedDict[tuple, object] = OrderedDict()
+
+    def get(self, key: tuple):
+        plan = self._entries.get(key)
+        if plan is not None:
+            self._entries.move_to_end(key)
+        return plan
+
+    def put(self, key: tuple, plan, capacity: int) -> int:
+        """Insert and trim to *capacity*; returns the number of evictions."""
+        self._entries[key] = plan
+        self._entries.move_to_end(key)
+        return self.trim(capacity)
+
+    def trim(self, capacity: int) -> int:
+        evicted = 0
+        while len(self._entries) > max(capacity, 0):
+            self._entries.popitem(last=False)
+            evicted += 1
+        return evicted
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
 class Database:
     """An in-memory relational database with PL/pgSQL support.
 
@@ -73,6 +140,14 @@ class Database:
     >>> _ = db.execute("INSERT INTO t VALUES (1), (2)")
     >>> db.execute("SELECT sum(x) FROM t").scalar()
     3
+
+    The sessionful surface lives behind :meth:`connect`:
+
+    >>> conn = db.connect()
+    >>> cur = conn.cursor()
+    >>> _ = cur.execute("SELECT x FROM t ORDER BY x")
+    >>> cur.fetchall()
+    [(1,), (2,)]
     """
 
     def __init__(self, seed: int = 0, profile: bool = True):
@@ -86,7 +161,10 @@ class Database:
         self.rng = random.Random(seed)
         self.profiler = Profiler(enabled=profile)
         self.planner = Planner(self)
-        self._plan_cache: dict[str, object] = {}
+        self._plan_cache = PlanCache()
+        #: Bumped by clear_plan_cache() (every DDL path): prepared-statement
+        #: handles stamp it and replan when it moved under them.
+        self._plan_generation = 0
         self.max_recursion_iterations = 10_000_000
         #: Matches PostgreSQL's max_stack_depth behaviour: directly recursive
         #: SQL UDFs (the paper's intermediate UDF form) blow this quickly.
@@ -99,65 +177,58 @@ class Database:
         #: genuinely long-running functions.
         self.max_interp_statements = 10_000_000
         self.plan_cache_enabled = True
+        #: LRU bound on cached statement plans (``SET plan_cache_size``);
+        #: 0 disables statement-plan caching entirely.
+        self.plan_cache_size = 256
         #: RAISE NOTICE/WARNING/INFO messages from PL/pgSQL execution.
+        #: Sessions swap in their own list while executing, so notices
+        #: raised on a Connection land on that Connection.
         self.notices: list[str] = []
         #: When set to a dict, the PL/pgSQL interpreter accumulates per-
         #: statement phase timings into it (Figure 3's profile bars):
         #: label -> {phase -> seconds}.
         self.plsql_statement_profile: Optional[dict] = None
+        #: Declarative settings registry (SET / SHOW / RESET); bound to the
+        #: attributes above and on the planner, so the legacy attribute
+        #: surface and the SQL surface always agree.
+        self.settings = SettingsRegistry(self)
+        self._setting_defaults = self.settings.defaults()
+        self._root_session: Optional["Connection"] = None
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
 
+    @property
+    def session(self) -> "Connection":
+        """The root session backing the ``Database.execute`` facade.
+
+        Its settings overlay writes through to the global values and its
+        notices list *is* ``Database.notices`` — the legacy surface is one
+        particular session, not a separate code path.
+        """
+        if self._root_session is None:
+            from .session import Connection
+            self._root_session = Connection(self, root=True)
+        return self._root_session
+
+    def connect(self) -> "Connection":
+        """Open a new session: per-session settings overlay, notices, and
+        prepared-statement registry (see :mod:`repro.sql.session`)."""
+        from .session import Connection
+        return Connection(self)
+
     def execute(self, sql: str, params: Sequence[Value] = ()) -> Result:
         """Execute one SQL statement (text) and return its result."""
-        if _looks_like_select(sql):
-            plan = self._get_plan(sql)
-            return self._run_plan(plan, params)
-        with self.profiler.phase(PARSE):
-            stmt = parse_statement(sql)
-        return self.execute_ast(stmt, params)
+        return self._execute_info(sql, params, self.session)[1]
 
     def execute_ast(self, stmt: A.Statement, params: Sequence[Value] = ()) -> Result:
         """Execute a pre-parsed statement AST."""
-        if isinstance(stmt, A.SelectStmt):
-            with self.profiler.phase(PLAN):
-                plan = self.planner.plan_select(stmt)
-            return self._run_plan(plan, params)
-        if isinstance(stmt, A.CreateTable):
-            return self._do_create_table(stmt)
-        if isinstance(stmt, A.CreateType):
-            return self._do_create_type(stmt)
-        if isinstance(stmt, A.CreateFunction):
-            return self._do_create_function(stmt)
-        if isinstance(stmt, A.Insert):
-            return self._do_insert(stmt, params)
-        if isinstance(stmt, A.Update):
-            return self._do_update(stmt, params)
-        if isinstance(stmt, A.Delete):
-            return self._do_delete(stmt, params)
-        if isinstance(stmt, A.CreateIndex):
-            return self._do_create_index(stmt)
-        if isinstance(stmt, A.DropIndex):
-            self.catalog.drop_index(stmt.name, stmt.if_exists)
-            self.clear_plan_cache()
-            return Result([], [])
-        if isinstance(stmt, A.DropTable):
-            self.catalog.drop_table(stmt.name, stmt.if_exists)
-            self.clear_plan_cache()
-            return Result([], [])
-        if isinstance(stmt, A.DropFunction):
-            self.catalog.drop_function(stmt.name, stmt.if_exists)
-            self.clear_plan_cache()
-            return Result([], [])
-        raise SqlError(f"unsupported statement {type(stmt).__name__}")
+        return self._dispatch_ast(stmt, params, self.session)[1]
 
     def execute_script(self, sql: str) -> list[Result]:
         """Execute a ``;``-separated script; return one Result per statement."""
-        with self.profiler.phase(PARSE):
-            statements = parse_script(sql)
-        return [self.execute_ast(stmt) for stmt in statements]
+        return self._execute_script(sql, self.session)
 
     def query_value(self, sql: str, params: Sequence[Value] = ()) -> Value:
         return self.execute(sql, params).scalar()
@@ -166,9 +237,10 @@ class Database:
         return self.execute(sql, params).rows
 
     def explain(self, sql: str) -> str:
-        """Render the plan tree for a SELECT (EXPLAIN-style)."""
-        plan = self._get_plan(sql)
-        return plan.explain()
+        """Render the plan tree for a SELECT (or EXECUTE), EXPLAIN-style."""
+        with self.profiler.phase(PARSE):
+            stmt = parse_statement(sql)
+        return self._explain_ast(stmt, self.session)
 
     def reseed(self, seed: int) -> None:
         """Reset the engine RNG (``random()``) for reproducible runs."""
@@ -176,31 +248,235 @@ class Database:
 
     def clear_plan_cache(self) -> None:
         self._plan_cache.clear()
+        self._plan_generation += 1
+        self._clear_function_plan_caches()
+
+    def _clear_function_plan_caches(self) -> None:
+        """Drop the per-function body plan caches (compiled/SQL bodies,
+        PL/pgSQL runtimes).  Unlike statement plans and prepared handles,
+        these are *not* fingerprint-stamped, so any plan-affecting
+        settings change must clear them explicitly — globally via
+        ``SettingsRegistry.assign``, per-session via the overlay
+        activation in :mod:`repro.sql.session`."""
         for fdef in self.catalog.functions.values():
             fdef.parsed_body = None
             fdef.batched_plan = None
 
+    def _trim_plan_cache(self) -> None:
+        """Apply a lowered ``plan_cache_size`` immediately."""
+        evicted = self._plan_cache.trim(self.plan_cache_size)
+        if evicted:
+            self.profiler.bump(PLAN_CACHE_EVICTIONS, evicted)
+
+    # ------------------------------------------------------------------
+    # Parse -> classify -> dispatch
+    # ------------------------------------------------------------------
+
+    def _cache_enabled(self) -> bool:
+        return self.plan_cache_enabled and self.plan_cache_size > 0
+
+    def _execute_info(self, sql: str, params: Sequence[Value],
+                      session: "Connection") -> tuple[str, Result]:
+        """Execute *sql* in *session*; returns ``(kind, result)``.
+
+        The plan-cache probe happens on the raw text *before* parsing —
+        the cache only ever holds SELECT plans (an AST-derived property),
+        so a hit both classifies and plans in one dictionary lookup.
+        Leading comments and parenthesised SELECTs therefore take exactly
+        the same cached path as a bare ``SELECT``.
+        """
+        profiler = self.profiler
+        key = None
+        if self._cache_enabled():
+            key = (sql, self.settings.fingerprint())
+            plan = self._plan_cache.get(key)
+            if plan is not None:
+                profiler.bump(PLAN_CACHE_HIT)
+                return ROWS, self._run_plan(plan, params)
+        with profiler.phase(PARSE):
+            stmt = parse_statement(sql)
+        if isinstance(stmt, A.SelectStmt):
+            profiler.bump(PLAN_CACHE_MISS)
+            with profiler.phase(PLAN):
+                plan = self.planner.plan_select(stmt)
+            if key is not None:
+                evicted = self._plan_cache.put(key, plan,
+                                               self.plan_cache_size)
+                if evicted:
+                    profiler.bump(PLAN_CACHE_EVICTIONS, evicted)
+            return ROWS, self._run_plan(plan, params)
+        return self._dispatch_ast(stmt, params, session)
+
+    def _execute_script(self, sql: str, session: "Connection") -> list[Result]:
+        with self.profiler.phase(PARSE):
+            statements = parse_script(sql)
+        session.begin_script()
+        try:
+            return [self._dispatch_ast(stmt, (), session)[1]
+                    for stmt in statements]
+        finally:
+            session.end_script()
+
+    def _execute_many(self, sql: str, param_sets,
+                      session: "Connection") -> tuple[str, Result]:
+        """``Cursor.executemany``: parse once, run per parameter set.
+
+        INSERT is special-cased into :meth:`_do_insert_many` — one bulk
+        ``insert_many`` for the whole batch.  Other DML loops over the
+        parsed AST and sums the affected-row counts; statements producing
+        result sets run but their rows are discarded (PEP-249 leaves this
+        undefined; we keep the side effects and report no result).
+        """
+        with self.profiler.phase(PARSE):
+            stmt = parse_statement(sql)
+        if isinstance(stmt, A.Insert):
+            return COUNT, self._do_insert_many(stmt, list(param_sets))
+        total = 0
+        saw_count = False
+        for params in param_sets:
+            kind, result = self._dispatch_ast(stmt, params, session)
+            if kind == COUNT:
+                saw_count = True
+                total += result.rows[0][0] if result.rows else 0
+        if saw_count:
+            return COUNT, Result(["count"], [(total,)])
+        return UTILITY, Result([], [])
+
+    def _dispatch_ast(self, stmt: A.Statement, params: Sequence[Value],
+                      session: "Connection") -> tuple[str, Result]:
+        """Route one parsed statement by AST type; returns ``(kind, result)``."""
+        if isinstance(stmt, A.SelectStmt):
+            with self.profiler.phase(PLAN):
+                plan = self.planner.plan_select(stmt)
+            return ROWS, self._run_plan(plan, params)
+        if isinstance(stmt, A.Insert):
+            return COUNT, self._do_insert(stmt, params)
+        if isinstance(stmt, A.Update):
+            return COUNT, self._do_update(stmt, params)
+        if isinstance(stmt, A.Delete):
+            return COUNT, self._do_delete(stmt, params)
+        if isinstance(stmt, A.ExecuteStmt):
+            return self._do_execute_prepared(stmt, params, session)
+        if isinstance(stmt, A.PrepareStmt):
+            session.register_prepared(stmt.name, stmt.statement,
+                                      stmt.param_types)
+            return UTILITY, Result([], [])
+        if isinstance(stmt, A.DeallocateStmt):
+            session.deallocate(stmt.name)
+            return UTILITY, Result([], [])
+        if isinstance(stmt, A.SetStmt):
+            return UTILITY, self._do_set(stmt, params, session)
+        if isinstance(stmt, A.ShowStmt):
+            return ROWS, self._do_show(stmt)
+        if isinstance(stmt, A.ResetStmt):
+            return UTILITY, self._do_reset(stmt, session)
+        if isinstance(stmt, A.ExplainStmt):
+            lines = self._explain_ast(stmt.statement, session).split("\n")
+            return ROWS, Result(["QUERY PLAN"], [(line,) for line in lines])
+        if isinstance(stmt, A.CreateTable):
+            return UTILITY, self._do_create_table(stmt)
+        if isinstance(stmt, A.CreateType):
+            return UTILITY, self._do_create_type(stmt)
+        if isinstance(stmt, A.CreateFunction):
+            return UTILITY, self._do_create_function(stmt)
+        if isinstance(stmt, A.CreateIndex):
+            return UTILITY, self._do_create_index(stmt)
+        if isinstance(stmt, A.DropIndex):
+            self.catalog.drop_index(stmt.name, stmt.if_exists)
+            self.clear_plan_cache()
+            return UTILITY, Result([], [])
+        if isinstance(stmt, A.DropTable):
+            self.catalog.drop_table(stmt.name, stmt.if_exists)
+            self.clear_plan_cache()
+            return UTILITY, Result([], [])
+        if isinstance(stmt, A.DropFunction):
+            self.catalog.drop_function(stmt.name, stmt.if_exists)
+            self.clear_plan_cache()
+            return UTILITY, Result([], [])
+        raise SqlError(f"unsupported statement {type(stmt).__name__}")
+
+    def _explain_ast(self, stmt: A.Statement, session: "Connection") -> str:
+        if isinstance(stmt, A.ExplainStmt):
+            stmt = stmt.statement
+        if isinstance(stmt, A.SelectStmt):
+            with self.profiler.phase(PLAN):
+                plan = self.planner.plan_select(stmt)
+            return plan.explain()
+        if isinstance(stmt, A.ExecuteStmt):
+            return session.lookup_prepared(stmt.name).explain()
+        raise PlanError(
+            f"EXPLAIN supports SELECT and EXECUTE, not "
+            f"{type(stmt).__name__}")
+
+    # ------------------------------------------------------------------
+    # Session statements: prepared execution and settings
+    # ------------------------------------------------------------------
+
+    def _do_execute_prepared(self, stmt: A.ExecuteStmt,
+                             params: Sequence[Value],
+                             session: "Connection") -> tuple[str, Result]:
+        handle = session.lookup_prepared(stmt.name)
+        return handle.dispatch(self._eval_standalone(stmt.args, params))
+
+    def run_prepared(self, handle, args: Sequence[Value]) -> tuple[str, Result]:
+        """Execute a :class:`~repro.sql.session.PreparedStatement` body.
+
+        SELECT handles run their per-handle cached plan (replanned lazily
+        when the DDL generation or settings fingerprint moved — see
+        ``PreparedStatement.plan``); DML handles re-dispatch their AST.
+        """
+        self.profiler.bump(PREPARED_EXECUTIONS)
+        stmt = handle.statement
+        if isinstance(stmt, A.SelectStmt):
+            return ROWS, self._run_plan(handle.plan(), args)
+        return self._dispatch_ast(stmt, args, handle.session)
+
+    def _eval_standalone(self, exprs: Sequence[A.Expr],
+                         params: Sequence[Value]) -> list[Value]:
+        """Evaluate row-free expressions (EXECUTE arguments, SET values):
+        literals, arithmetic, ``$n`` references to *params*, scalar
+        subqueries — anything that needs no FROM-clause row context."""
+        from .executor.scan import make_slots
+        compiler = ExprCompiler(Scope([]), self.planner)
+        compiled = [compiler.compile(expr) for expr in exprs]
+        rt = RuntimeContext(self, params)
+        ctx = EvalContext(rt, (), slots=make_slots(rt, None, compiler.subplans))
+        return [c(ctx) for c in compiled]
+
+    def _do_set(self, stmt: A.SetStmt, params: Sequence[Value],
+                session: "Connection") -> Result:
+        if stmt.value is None:          # SET name = DEFAULT
+            return self._do_reset(A.ResetStmt(stmt.name), session)
+        if isinstance(stmt.value, A.Literal):
+            raw = stmt.value.value
+        else:
+            [raw] = self._eval_standalone([stmt.value], params)
+        self.profiler.bump(SETTINGS_ASSIGNMENTS)
+        if stmt.local:
+            session.set_local(stmt.name, raw)
+        else:
+            session.set_setting(stmt.name, raw)
+        return Result([], [])
+
+    def _do_show(self, stmt: A.ShowStmt) -> Result:
+        if stmt.name is not None:
+            return Result([stmt.name.lower()],
+                          [(self.settings.show(stmt.name),)])
+        rows = [(s.name, s.format(s.get(self)), s.description)
+                for s in sorted(self.settings, key=lambda s: s.name)]
+        return Result(["name", "setting", "description"], rows)
+
+    def _do_reset(self, stmt: A.ResetStmt, session: "Connection") -> Result:
+        self.profiler.bump(SETTINGS_ASSIGNMENTS)
+        if stmt.name is None:
+            session.reset_all_settings()
+        else:
+            session.reset_setting(stmt.name)
+        return Result([], [])
+
     # ------------------------------------------------------------------
     # Planning and running SELECTs
     # ------------------------------------------------------------------
-
-    def _get_plan(self, sql: str):
-        profiler = self.profiler
-        if self.plan_cache_enabled:
-            plan = self._plan_cache.get(sql)
-            if plan is not None:
-                profiler.bump(PLAN_CACHE_HIT)
-                return plan
-        profiler.bump(PLAN_CACHE_MISS)
-        with profiler.phase(PARSE):
-            stmt = parse_statement(sql)
-        if not isinstance(stmt, A.SelectStmt):
-            raise PlanError("plan cache only holds SELECT statements")
-        with profiler.phase(PLAN):
-            plan = self.planner.plan_select(stmt)
-        if self.plan_cache_enabled:
-            self._plan_cache[sql] = plan
-        return plan
 
     def _run_plan(self, plan, params: Sequence[Value]) -> Result:
         profiler = self.profiler
@@ -378,25 +654,69 @@ class Database:
         self.clear_plan_cache()
         return Result([], [])
 
-    def _do_insert(self, stmt: A.Insert, params: Sequence[Value]) -> Result:
+    def _insert_target(self, stmt: A.Insert):
+        """Resolve the target table and column positions of an INSERT."""
         table = self.catalog.get_table(stmt.table)
-        with self.profiler.phase(PLAN):
-            plan = self.planner.plan_select(stmt.source)
-        source = self._run_plan(plan, params)
         if stmt.columns is not None:
             positions = [table.column_index(c) for c in stmt.columns]
         else:
             positions = list(range(len(table.column_names)))
-        full_rows: list[tuple] = []
-        for row in source.rows:
+        return table, positions
+
+    def _materialize_insert_rows(self, table, positions,
+                                 source_rows, out: list[tuple]) -> None:
+        """Coerce source rows into full-width heap tuples, appending to
+        *out*; shared by single INSERT and the executemany bulk path."""
+        for row in source_rows:
             if len(row) != len(positions):
                 raise ExecutionError(
                     f"INSERT expects {len(positions)} values, got {len(row)}")
             full: list[Value] = [None] * len(table.column_names)
             for position, value in zip(positions, row):
                 full[position] = self._coerce(value, table.column_types[position])
-            full_rows.append(tuple(full))
+            out.append(tuple(full))
+
+    def _do_insert(self, stmt: A.Insert, params: Sequence[Value]) -> Result:
+        table, positions = self._insert_target(stmt)
+        with self.profiler.phase(PLAN):
+            plan = self.planner.plan_select(stmt.source)
+        source = self._run_plan(plan, params)
+        full_rows: list[tuple] = []
+        self._materialize_insert_rows(table, positions, source.rows, full_rows)
         # One bulk insert: index maintenance sees the whole batch at once.
+        inserted = table.insert_many(full_rows)
+        return Result(["count"], [(inserted,)])
+
+    def _do_insert_many(self, stmt: A.Insert,
+                        param_sets: Sequence[Sequence[Value]]) -> Result:
+        """``executemany`` fast path: the INSERT source is planned once,
+        instantiated per parameter set, and the accumulated rows land in
+        **one** ``insert_many`` — one index-maintenance pass for the whole
+        batch instead of N single-row inserts (each of which would also
+        re-plan unless the text cache happened to hold the statement).
+
+        A source that reads the target table must see the rows earlier
+        parameter sets produced (loop-of-execute semantics), so it keeps
+        the plan-once but insert-per-set path.
+        """
+        from .astutil import references_table
+        table, positions = self._insert_target(stmt)
+        with self.profiler.phase(PLAN):
+            plan = self.planner.plan_select(stmt.source)
+        if references_table(stmt.source, table.name):
+            total = 0
+            for params in param_sets:
+                source = self._run_plan(plan, params)
+                rows: list[tuple] = []
+                self._materialize_insert_rows(table, positions, source.rows,
+                                              rows)
+                total += table.insert_many(rows)
+            return Result(["count"], [(total,)])
+        full_rows: list[tuple] = []
+        for params in param_sets:
+            source = self._run_plan(plan, params)
+            self._materialize_insert_rows(table, positions, source.rows,
+                                          full_rows)
         inserted = table.insert_many(full_rows)
         return Result(["count"], [(inserted,)])
 
@@ -453,11 +773,3 @@ class Database:
         rt.params = tuple(params)
         count = table.delete_where(check)
         return Result(["count"], [(count,)])
-
-
-def _looks_like_select(sql: str) -> bool:
-    stripped = sql.lstrip().lower()
-    for head in ("select", "with", "values", "("):
-        if stripped.startswith(head):
-            return True
-    return False

@@ -48,6 +48,11 @@ class CatalogError(SqlError):
     """Schema-level problem: duplicate table, unknown type, and so on."""
 
 
+class SettingError(SqlError):
+    """An unknown configuration parameter, or a value outside its domain
+    (see :mod:`repro.sql.settings`)."""
+
+
 class PlsqlError(SqlError):
     """Base class for PL/pgSQL front-end and interpreter errors."""
 

@@ -63,6 +63,21 @@ class SqlParser:
             return self._parse_delete()
         if ts.at_keyword("drop"):
             return self._parse_drop()
+        if ts.at_keyword("prepare"):
+            return self._parse_prepare()
+        if ts.at_keyword("execute"):
+            return self._parse_execute()
+        if ts.at_keyword("deallocate"):
+            return self._parse_deallocate()
+        if ts.at_keyword("set"):
+            return self._parse_set()
+        if ts.at_keyword("show"):
+            return self._parse_show()
+        if ts.at_keyword("reset"):
+            return self._parse_reset()
+        if ts.at_keyword("explain"):
+            ts.advance()
+            return A.ExplainStmt(self.parse_statement())
         token = ts.peek()
         raise ParseError(f"unexpected start of statement: {token}",
                          token.line, token.column)
@@ -889,6 +904,88 @@ class SqlParser:
             self.ts.expect_keyword("exists")
             return True
         return False
+
+    # ------------------------------------------------------------------
+    # Session statements: PREPARE / EXECUTE / DEALLOCATE, SET / SHOW /
+    # RESET, EXPLAIN
+    # ------------------------------------------------------------------
+
+    def _parse_prepare(self) -> A.PrepareStmt:
+        ts = self.ts
+        ts.expect_keyword("prepare")
+        name = ts.expect_ident("prepared statement name")
+        param_types = None
+        if ts.at_op("("):
+            ts.advance()
+            param_types = [self._parse_type_name()]
+            while ts.accept_op(","):
+                param_types.append(self._parse_type_name())
+            ts.expect_op(")")
+        ts.expect_keyword("as")
+        return A.PrepareStmt(name, param_types, self.parse_statement())
+
+    def _parse_execute(self) -> A.ExecuteStmt:
+        ts = self.ts
+        ts.expect_keyword("execute")
+        name = ts.expect_ident("prepared statement name")
+        args: list[A.Expr] = []
+        if ts.at_op("("):
+            ts.advance()
+            if not ts.at_op(")"):
+                args.append(self.parse_expression())
+                while ts.accept_op(","):
+                    args.append(self.parse_expression())
+            ts.expect_op(")")
+        return A.ExecuteStmt(name, args)
+
+    def _parse_deallocate(self) -> A.DeallocateStmt:
+        ts = self.ts
+        ts.expect_keyword("deallocate")
+        ts.accept_keyword("prepare")
+        if ts.accept_keyword("all"):
+            return A.DeallocateStmt(None)
+        return A.DeallocateStmt(ts.expect_ident("prepared statement name"))
+
+    def _parse_set(self) -> A.SetStmt:
+        ts = self.ts
+        ts.expect_keyword("set")
+        local = False
+        # LOCAL / SESSION are modifiers only when another identifier (the
+        # setting name) follows; `SET local = ...` would name a setting.
+        if ts.at_keyword("local") and ts.peek(1).type in (IDENT, QIDENT):
+            ts.advance()
+            local = True
+        elif ts.at_keyword("session") and ts.peek(1).type in (IDENT, QIDENT):
+            ts.advance()
+        name = ts.expect_ident("setting name")
+        if not ts.accept_keyword("to"):
+            ts.expect_op("=")
+        if ts.accept_keyword("default"):
+            return A.SetStmt(name, None, local)
+        # A bare word (machine, on, off, ...) is a string value, PostgreSQL
+        # style; anything else is an ordinary expression.
+        token = ts.peek()
+        if token.type in (IDENT, QIDENT) and not ts.at_keyword(
+                "true", "false", "null", "case", "cast", "not"):
+            after = ts.peek(1)
+            if after.type == EOF or (after.type == OP and after.value == ";"):
+                ts.advance()
+                return A.SetStmt(name, A.Literal(str(token.value)), local)
+        return A.SetStmt(name, self.parse_expression(), local)
+
+    def _parse_show(self) -> A.ShowStmt:
+        ts = self.ts
+        ts.expect_keyword("show")
+        if ts.accept_keyword("all"):
+            return A.ShowStmt(None)
+        return A.ShowStmt(ts.expect_ident("setting name"))
+
+    def _parse_reset(self) -> A.ResetStmt:
+        ts = self.ts
+        ts.expect_keyword("reset")
+        if ts.accept_keyword("all"):
+            return A.ResetStmt(None)
+        return A.ResetStmt(ts.expect_ident("setting name"))
 
 
 def _is_distinct(left: A.Expr, right: A.Expr, negated: bool) -> A.Expr:

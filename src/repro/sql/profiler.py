@@ -67,6 +67,14 @@ INDEX_RANGE_SCANS = "index range scans"
 TOPN_SCANS = "topn scans"
 TOPN_INPUT_ROWS = "topn input rows"
 MERGEJOIN_SCANS = "merge join scans"
+#: Session surface: executions through a PreparedStatement handle (SQL
+#: EXECUTE or the programmatic API), replans a stale handle paid after DDL
+#: or a plan-affecting SET, declarative settings assignments (SET / RESET),
+#: and statement plans dropped by the LRU bound on the plan cache.
+PREPARED_EXECUTIONS = "prepared executions"
+PREPARED_REPLANS = "prepared replans"
+SETTINGS_ASSIGNMENTS = "settings assignments"
+PLAN_CACHE_EVICTIONS = "plan cache evictions"
 
 
 class Profiler:

@@ -1,0 +1,584 @@
+"""Sessions, prepared statements, and a PEP-249-style cursor surface.
+
+The paper's cost model (parse/plan once, instantiate many times) needs a
+client surface that can actually express "once": a :class:`Connection` is a
+session with its own settings overlay, notices, and prepared-statement
+registry; a :class:`PreparedStatement` carries its plan across executions;
+a :class:`Cursor` exposes the familiar DB-API shape (``execute`` /
+``executemany`` / ``description`` / ``fetchone`` / iteration).
+
+``Database.execute`` keeps working unchanged — it is a thin facade over the
+*root* session, whose settings overlay writes straight through to the
+global values.
+
+Isolation model (single-process, cooperative):
+
+* **Settings** — ``SET`` on a connection lands in its overlay; the overlay
+  is applied to the engine attributes for the duration of each statement
+  and restored afterwards.  Cached plans can never leak across differing
+  plan-affecting settings because every plan-cache key and prepared-
+  statement stamp embeds the settings fingerprint
+  (:meth:`repro.sql.settings.SettingsRegistry.fingerprint`).
+* **Prepared statements** — per-session by name (SQL ``PREPARE``/
+  ``EXECUTE``/``DEALLOCATE`` or the programmatic :meth:`Connection.
+  prepare`).  A handle's plan is stamped with the DDL generation and the
+  settings fingerprint: DDL (new index, dropped table, replaced function)
+  or a plan-affecting ``SET`` makes the stamp stale and the handle replans
+  on its next use — stale handles replan, they don't crash or return
+  stale results.
+* **Notices** — PL/pgSQL ``RAISE`` messages raised while a connection is
+  executing land on that connection's :attr:`Connection.notices`.
+
+>>> from repro.sql import Database
+>>> db = Database()
+>>> _ = db.execute("CREATE TABLE t(x int, y int)")
+>>> conn = db.connect()
+>>> cur = conn.cursor()
+>>> _ = cur.executemany("INSERT INTO t VALUES ($1, $2)",
+...                     [(1, 10), (2, 20), (3, 30)])
+>>> cur.rowcount
+3
+>>> ps = conn.prepare("SELECT y FROM t WHERE x = $1")
+>>> ps.execute([2]).scalar()
+20
+>>> _ = conn.execute("SET enable_rangescan = off")
+>>> conn.execute("SHOW enable_rangescan").scalar()
+'off'
+>>> db.execute("SHOW enable_rangescan").scalar()  # overlay is per-session
+'on'
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+from . import ast as A
+from .astutil import statement_param_count
+from .errors import CatalogError, ExecutionError, PlanError
+from .profiler import PLAN, PREPARED_REPLANS
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Database, Result
+
+#: Statement kinds a prepared statement may wrap (PostgreSQL's rule).
+_PREPARABLE = (A.SelectStmt, A.Insert, A.Update, A.Delete)
+
+
+class PreparedStatement:
+    """A named, parsed, plan-carrying statement handle.
+
+    For SELECTs the plan is cached on the handle and revalidated against
+    ``(ddl generation, settings fingerprint)`` before every use; DML
+    statements re-dispatch their (already parsed) AST per execution.
+    """
+
+    __slots__ = ("session", "db", "name", "statement", "param_types",
+                 "param_count", "_plan", "_stamp")
+
+    def __init__(self, session: "Connection", name: str,
+                 statement: A.Statement,
+                 param_types: Optional[list[str]] = None):
+        if not isinstance(statement, _PREPARABLE):
+            raise PlanError(
+                f"cannot prepare a {type(statement).__name__}; PREPARE "
+                "supports SELECT, INSERT, UPDATE and DELETE")
+        self.session = session
+        self.db = session.db
+        self.name = name
+        self.statement = statement
+        self.param_types = param_types
+        used = statement_param_count(statement)
+        if param_types is not None:
+            if used > len(param_types):
+                raise PlanError(
+                    f"prepared statement {name!r} uses ${used} but declares "
+                    f"only {len(param_types)} parameter types")
+            self.param_count = len(param_types)
+        else:
+            self.param_count = used
+        self._plan = None
+        self._stamp: Optional[tuple] = None
+
+    # -- planning --------------------------------------------------------
+
+    def plan(self):
+        """The current plan, replanning when the stamp went stale.
+
+        The stamp pairs the DDL generation (bumped by every
+        ``clear_plan_cache``) with the plan-affecting settings
+        fingerprint; either moving means the cached plan may name dropped
+        structures or the wrong access paths, so it is rebuilt — against
+        whatever catalog now exists, raising the same clean error a fresh
+        query would (e.g. after ``DROP TABLE``).
+        """
+        db = self.db
+        stamp = (db._plan_generation, db.settings.fingerprint())
+        if self._plan is None or self._stamp != stamp:
+            if self._plan is not None:
+                db.profiler.bump(PREPARED_REPLANS)
+            self._plan = None  # a failed replan must not leave a stale plan
+            with db.profiler.phase(PLAN):
+                self._plan = db.planner.plan_select(self.statement)
+            self._stamp = stamp
+        return self._plan
+
+    # -- execution -------------------------------------------------------
+
+    def check_arity(self, args: Sequence) -> None:
+        if len(args) != self.param_count:
+            raise ExecutionError(
+                f"prepared statement {self.name!r} requires "
+                f"{self.param_count} parameters, got {len(args)}")
+
+    def dispatch(self, args: Sequence) -> tuple:
+        """Run with the owning session assumed active; returns
+        ``(kind, Result)`` (the engine's dispatch contract)."""
+        self.check_arity(args)
+        if self.param_types:
+            # Declared types coerce the arguments, PostgreSQL-style
+            # (leniently, like INSERT coercion — the engine is
+            # dynamically typed).
+            args = [self.db._coerce(value, type_name)
+                    for value, type_name in zip(args, self.param_types)]
+        return self.db.run_prepared(self, args)
+
+    def execute(self, params: Sequence = ()) -> "Result":
+        """Programmatic execution (activates the owning session)."""
+        with self.session._activated():
+            return self.dispatch(tuple(params))[1]
+
+    def explain(self) -> str:
+        """Render the *current* plan (replanned if stale) — the SQL-level
+        ``EXPLAIN EXECUTE name`` goes through here."""
+        if not isinstance(self.statement, A.SelectStmt):
+            raise PlanError(
+                f"EXPLAIN EXECUTE supports SELECT prepared statements, "
+                f"not {type(self.statement).__name__}")
+        return self.plan().explain()
+
+    def deallocate(self) -> None:
+        self.session.deallocate(self.name)
+
+    def __repr__(self) -> str:
+        return (f"PreparedStatement({self.name!r}, "
+                f"{type(self.statement).__name__}, "
+                f"params={self.param_count})")
+
+
+class Connection:
+    """One session against a :class:`~repro.sql.engine.Database`.
+
+    Root sessions (``Database``'s own facade) write settings straight
+    through to the global values; ordinary sessions keep them in an
+    overlay applied around each statement.
+    """
+
+    def __init__(self, db: "Database", root: bool = False):
+        self.db = db
+        self._root = root
+        self._closed = False
+        self._overlay: dict[str, object] = {}
+        self._notices: list[str] = db.notices if root else []
+        self._prepared: dict[str, PreparedStatement] = {}
+        self._active_depth = 0
+        self._saved: dict[str, object] = {}
+        self._saved_notices: Optional[list[str]] = None
+        #: One list of SET LOCAL restore records per nested script.
+        self._script_stack: list[list] = []
+        self._anon_counter = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def notices(self) -> list[str]:
+        """RAISE NOTICE/WARNING/INFO messages from this session."""
+        return self._notices
+
+    def close(self) -> None:
+        """Deallocate prepared statements and refuse further execution."""
+        self._prepared.clear()
+        self._overlay.clear()
+        self._closed = True
+
+    def commit(self) -> None:
+        """No-op (the engine has no transactions); PEP-249 shape only."""
+
+    def rollback(self) -> None:
+        """No-op (the engine has no transactions); PEP-249 shape only."""
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ExecutionError("connection is closed")
+
+    # -- execution -------------------------------------------------------
+
+    def cursor(self) -> "Cursor":
+        self._check_open()
+        return Cursor(self)
+
+    def execute(self, sql: str, params: Sequence = ()) -> "Result":
+        """Execute one statement in this session; returns the Result."""
+        return self._execute_info(sql, params)[1]
+
+    def execute_script(self, sql: str) -> "list[Result]":
+        """Execute a ``;``-separated script (the scope of ``SET LOCAL``)."""
+        self._check_open()
+        with self._activated():
+            return self.db._execute_script(sql, self)
+
+    def query_value(self, sql: str, params: Sequence = ()):
+        return self.execute(sql, params).scalar()
+
+    def query_all(self, sql: str, params: Sequence = ()) -> list[tuple]:
+        return self.execute(sql, params).rows
+
+    def _execute_info(self, sql: str, params: Sequence) -> tuple:
+        self._check_open()
+        with self._activated():
+            return self.db._execute_info(sql, params, self)
+
+    def _execute_many(self, sql: str,
+                      param_sets: Iterable[Sequence]) -> tuple:
+        self._check_open()
+        with self._activated():
+            return self.db._execute_many(sql, param_sets, self)
+
+    # -- prepared statements --------------------------------------------
+
+    def prepare(self, sql: str, name: Optional[str] = None) -> PreparedStatement:
+        """Parse *sql* once and return a :class:`PreparedStatement`.
+
+        The handle is registered in this session (under a generated name
+        when *name* is omitted), so SQL-level ``EXECUTE``/``DEALLOCATE``
+        see it too.
+        """
+        self._check_open()
+        from .parser import parse_statement
+        from .profiler import PARSE
+        with self.db.profiler.phase(PARSE):
+            statement = parse_statement(sql)
+        if isinstance(statement, A.PrepareStmt):
+            return self.register_prepared(statement.name, statement.statement,
+                                          statement.param_types)
+        if name is None:
+            self._anon_counter += 1
+            name = f"_stmt{self._anon_counter}"
+            while name in self._prepared:
+                self._anon_counter += 1
+                name = f"_stmt{self._anon_counter}"
+        return self.register_prepared(name, statement)
+
+    def register_prepared(self, name: str, statement: A.Statement,
+                          param_types: Optional[list[str]] = None
+                          ) -> PreparedStatement:
+        self._check_open()
+        key = name.lower()
+        if key in self._prepared:
+            raise CatalogError(f"prepared statement {name!r} already exists")
+        handle = PreparedStatement(self, key, statement, param_types)
+        self._prepared[key] = handle
+        return handle
+
+    def lookup_prepared(self, name: str) -> PreparedStatement:
+        handle = self._prepared.get(name.lower())
+        if handle is None:
+            raise CatalogError(
+                f"prepared statement {name!r} does not exist")
+        return handle
+
+    def deallocate(self, name: Optional[str]) -> None:
+        """Drop one prepared statement, or all of them (``name`` None)."""
+        if name is None:
+            self._prepared.clear()
+            return
+        if self._prepared.pop(name.lower(), None) is None:
+            raise CatalogError(
+                f"prepared statement {name!r} does not exist")
+
+    @property
+    def prepared_names(self) -> list[str]:
+        return sorted(self._prepared)
+
+    # -- settings --------------------------------------------------------
+
+    def get_setting(self, name: str):
+        """Effective (typed) value of *name* as this session sees it."""
+        setting = self.db.settings.lookup(name)
+        if not self._root and setting.name in self._overlay:
+            return self._overlay[setting.name]
+        return setting.get(self.db)
+
+    def set_setting(self, name: str, raw) -> object:
+        """Session-scoped assignment (global write-through on the root
+        session).  Validates against the setting's declared type/domain."""
+        self._check_open()
+        if self._root:
+            return self.db.settings.assign(name, raw)
+        setting = self.db.settings.lookup(name)
+        value = setting.parse(raw)
+        self._overlay[setting.name] = value
+        if self._active_depth:
+            # Mid-statement/script SET: take effect now; the pre-activation
+            # global value is restored when the session deactivates.
+            changed = setting.get(self.db) != value
+            self._saved.setdefault(setting.name, setting.get(self.db))
+            setting.set_raw(self.db, value)
+            if changed and setting.plan_affecting:
+                # Statement plans and prepared handles are fingerprint-
+                # stamped, but function-body plan caches are not.
+                self.db._clear_function_plan_caches()
+        return value
+
+    def reset_setting(self, name: str) -> None:
+        """Drop the session override (root: restore the boot default)."""
+        self._check_open()
+        if self._root:
+            self.db.settings.reset(name)
+            return
+        setting = self.db.settings.lookup(name)
+        self._overlay.pop(setting.name, None)
+        if self._active_depth and setting.name in self._saved:
+            old = self._saved[setting.name]
+            changed = setting.get(self.db) != old
+            setting.set_raw(self.db, old)
+            if changed and setting.plan_affecting:
+                self.db._clear_function_plan_caches()
+
+    def reset_all_settings(self) -> None:
+        if self._root:
+            for name in self.db.settings.names():
+                self.db.settings.reset(name)
+            return
+        for name in list(self._overlay):
+            self.reset_setting(name)
+
+    def set_local(self, name: str, raw) -> None:
+        """``SET LOCAL``: scoped to the enclosing script, reverted when it
+        ends.  Outside a script this is a no-op with a notice, matching
+        PostgreSQL's behaviour outside a transaction block."""
+        self._check_open()
+        if not self._script_stack:
+            self.db.settings.lookup(name)   # still validate the name
+            self._notices.append(
+                "WARNING: SET LOCAL has no effect outside a script")
+            return
+        setting = self.db.settings.lookup(name)
+        if self._root:
+            restore = ("global", setting.name, setting.get(self.db))
+        else:
+            had = setting.name in self._overlay
+            restore = ("overlay", setting.name, had,
+                       self._overlay.get(setting.name))
+        self._script_stack[-1].append(restore)
+        self.set_setting(name, raw)
+
+    def begin_script(self) -> None:
+        self._script_stack.append([])
+
+    def end_script(self) -> None:
+        records = self._script_stack.pop()
+        for record in reversed(records):
+            if record[0] == "global":
+                _, name, old = record
+                self.db.settings.assign(name, old)
+            else:
+                _, name, had, old = record
+                if had:
+                    self.set_setting(name, old)
+                else:
+                    self.reset_setting(name)
+
+    # -- activation ------------------------------------------------------
+
+    def _activated(self):
+        """Context manager applying this session's state to the engine:
+        overlay values are written to the backing attributes (saving the
+        globals) and the notices list is swapped in; both are restored on
+        exit.  Reentrant; a no-op for the root session."""
+        return _Activation(self)
+
+
+class _Activation:
+    __slots__ = ("conn",)
+
+    def __init__(self, conn: Connection):
+        self.conn = conn
+
+    def __enter__(self):
+        conn = self.conn
+        conn._active_depth += 1
+        if conn._root or conn._active_depth > 1:
+            return conn
+        db = conn.db
+        conn._saved_notices = db.notices
+        db.notices = conn._notices
+        registry = db.settings
+        plan_changed = False
+        for name, value in conn._overlay.items():
+            setting = registry.lookup(name)
+            conn._saved[name] = setting.get(db)
+            setting.set_raw(db, value)
+            if setting.plan_affecting and conn._saved[name] != value:
+                plan_changed = True
+        if plan_changed:
+            # Function-body plan caches are not fingerprint-stamped; an
+            # overlay that changes plan-affecting values must not reuse
+            # bodies planned under the globals (nor leave session-planned
+            # bodies behind — see __exit__).
+            db._clear_function_plan_caches()
+        return conn
+
+    def __exit__(self, *exc) -> None:
+        conn = self.conn
+        conn._active_depth -= 1
+        if conn._root or conn._active_depth > 0:
+            return
+        db = conn.db
+        registry = db.settings
+        plan_changed = False
+        for name, value in conn._saved.items():
+            setting = registry.lookup(name)
+            if setting.plan_affecting and setting.get(db) != value:
+                plan_changed = True
+            setting.set_raw(db, value)
+        conn._saved.clear()
+        if plan_changed:
+            db._clear_function_plan_caches()
+        if conn._saved_notices is not None:
+            db.notices = conn._saved_notices
+            conn._saved_notices = None
+
+
+class Cursor:
+    """PEP-249-shaped cursor over one :class:`Connection`.
+
+    ``description`` is a list of 7-tuples (name first, the rest ``None`` —
+    the engine is dynamically typed); ``rowcount`` is the affected-row
+    count for DML, the result-set size for queries, and -1 for DDL and
+    session statements.  Results are materialized (the engine's executor
+    is pull-to-completion), so ``fetchmany`` batching shapes the client
+    loop, not the execution.
+    """
+
+    __slots__ = ("connection", "arraysize", "description", "rowcount",
+                 "_rows", "_pos", "_closed")
+
+    def __init__(self, connection: Connection):
+        self.connection = connection
+        self.arraysize = 1
+        self.description: Optional[list[tuple]] = None
+        self.rowcount = -1
+        self._rows: Optional[list[tuple]] = None
+        self._pos = 0
+        self._closed = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        self._closed = True
+        self._rows = None
+        self.description = None
+
+    def __enter__(self) -> "Cursor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ExecutionError("cursor is closed")
+        self.connection._check_open()
+
+    # -- execution -------------------------------------------------------
+
+    def execute(self, sql: str, params: Sequence = ()) -> "Cursor":
+        """Execute one statement; returns self (chaining, PEP-249 style)."""
+        self._check_open()
+        kind, result = self.connection._execute_info(sql, params)
+        self._absorb(kind, result)
+        return self
+
+    def executemany(self, sql: str,
+                    param_sets: Iterable[Sequence]) -> "Cursor":
+        """Execute once per parameter set.  INSERTs take a bulk path: the
+        source is planned once and all rows land in one ``insert_many``
+        (one index-maintenance pass), instead of N single-row plans."""
+        self._check_open()
+        kind, result = self.connection._execute_many(sql, param_sets)
+        self._absorb(kind, result)
+        return self
+
+    def _absorb(self, kind: str, result: "Result") -> None:
+        from .engine import COUNT, ROWS
+        if kind == ROWS:
+            self.description = [(name, None, None, None, None, None, None)
+                                for name in result.columns]
+            self._rows = list(result.rows)
+            self.rowcount = len(self._rows)
+        elif kind == COUNT:
+            self.description = None
+            self._rows = None
+            self.rowcount = result.rows[0][0] if result.rows else 0
+        else:
+            self.description = None
+            self._rows = None
+            self.rowcount = -1
+        self._pos = 0
+
+    # -- fetching --------------------------------------------------------
+
+    def _result_rows(self) -> list[tuple]:
+        self._check_open()
+        if self._rows is None:
+            raise ExecutionError(
+                "no result set (the last statement returned no rows)")
+        return self._rows
+
+    def fetchone(self) -> Optional[tuple]:
+        rows = self._result_rows()
+        if self._pos >= len(rows):
+            return None
+        row = rows[self._pos]
+        self._pos += 1
+        return row
+
+    def fetchmany(self, size: Optional[int] = None) -> list[tuple]:
+        rows = self._result_rows()
+        count = self.arraysize if size is None else size
+        batch = rows[self._pos:self._pos + max(count, 0)]
+        self._pos += len(batch)
+        return batch
+
+    def fetchall(self) -> list[tuple]:
+        rows = self._result_rows()
+        batch = rows[self._pos:]
+        self._pos = len(rows)
+        return batch
+
+    def __iter__(self) -> "Cursor":
+        return self
+
+    def __next__(self) -> tuple:
+        row = self.fetchone()
+        if row is None:
+            raise StopIteration
+        return row
+
+    # -- PEP-249 no-ops --------------------------------------------------
+
+    def setinputsizes(self, sizes) -> None:
+        """No-op; PEP-249 shape only."""
+
+    def setoutputsize(self, size, column=None) -> None:
+        """No-op; PEP-249 shape only."""
