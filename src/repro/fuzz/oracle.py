@@ -1,0 +1,482 @@
+"""Multi-oracle differential checking.
+
+One generated case is checked three ways:
+
+* **Engine-vs-engine** — every query runs under a configuration matrix
+  derived mechanically from the settings registry
+  (:meth:`repro.sql.settings.SettingsRegistry.plan_axes`): an "everything
+  off" baseline (seq scans, full sorts, nested loops, scalar UDF calls),
+  each finite plan-affecting setting toggled one at a time from both the
+  baseline and the defaults, the defaults themselves, and the defaults
+  with the plan cache disabled.  A planner flag added to the registry
+  joins this matrix automatically.
+* **Interpreted-vs-compiled-vs-batched** — case functions register twice
+  (PL/pgSQL interpreter and compiled trampoline); function queries run
+  with both names under every configuration, so the scalar, inlined,
+  batched-machine and batched-SQL execution strategies all face the same
+  inputs.
+* **Engine-vs-SQLite** — dialect-portable queries over SQLite-safe data
+  also run on :mod:`sqlite3`, with a *lax* value normalization (bools are
+  ints, ``5.0`` is ``5``) and a known-dialect classifier that explains
+  away representation limits (int64 overflow) instead of reporting them.
+
+Outcomes compare as row *bags* by default; a query whose ORDER BY covers
+every output column compares as a list, and a partial ordering is checked
+for sortedness under the engine's NULL/NaN placement rules.  Errors
+compare by the taxonomy of :func:`repro.sql.errors.error_class`: two
+strategies agree when both reject, but an exception from outside the
+engine's deliberate error hierarchy is a **crash** and always reported.
+"""
+
+from __future__ import annotations
+
+import math
+import sqlite3
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sql import Database
+from repro.sql.errors import CRASH, SqlError, error_class
+from repro.sql.profiler import (FUZZ_CASES, FUZZ_COMPARISONS,
+                                FUZZ_DIALECT_EXPLAINED, FUZZ_DISCREPANCIES,
+                                FUZZ_EXECUTIONS, FUZZ_SQLITE_CHECKS, Profiler)
+from repro.sql.values import Row, row_sort_key
+
+from .datagen import data_sqlite_safe, value_sqlite_safe
+from .querygen import Case, Query
+
+# ---------------------------------------------------------------------------
+# Row normalization and comparison (the shared helper)
+# ---------------------------------------------------------------------------
+
+
+def normalize_value(value, lax: bool = False):
+    """A hashable, deterministically-orderable normal form of one value.
+
+    Values normalize to ``(tag, payload)`` tuples whose tags keep SQL's
+    comparability classes apart.  Numbers canonicalize **by value**, not
+    by Python type: SQL's value-merging operators (DISTINCT, UNION,
+    GROUP BY keys, min/max) keep whichever of several equal
+    representatives arrives first, so ``0`` from one access path and
+    ``0.0`` from another are the same legal answer (fuzz seed 31000799).
+    Integral values render exactly (Python bigints — the engine's exact
+    arithmetic must survive normalization); non-integral floats
+    canonicalize to 12 significant digits, enough to absorb
+    accumulation-order differences between access paths while far tighter
+    than any real engine bug.  NaNs are one class, as is ``-0.0 = 0.0``.
+    With *lax* (the SQLite oracle), booleans additionally become ints,
+    mirroring SQLite's storage model.
+    """
+    if value is None:
+        return ("null",)
+    if isinstance(value, bool):
+        return ("num", repr(int(value))) if lax else ("bool", value)
+    if isinstance(value, float):
+        if value != value:
+            return ("num", "nan")
+        if value in (math.inf, -math.inf):
+            return ("num", repr(value))
+        if value == int(value):
+            return ("num", repr(int(value)))
+        return ("num", f"{value:.12g}")
+    if isinstance(value, int):
+        return ("num", repr(value))
+    if isinstance(value, Row):
+        return ("row",) + tuple(normalize_value(v, lax) for v in value)
+    if isinstance(value, list):
+        return ("arr",) + tuple(normalize_value(v, lax) for v in value)
+    return ("text", value) if isinstance(value, str) else ("obj", repr(value))
+
+
+def normalize_row(row, lax: bool = False) -> tuple:
+    return tuple(normalize_value(v, lax) for v in row)
+
+
+def rows_equal(expected, actual, *, ordered: bool = False,
+               lax: bool = False) -> bool:
+    """True when two result sets agree under SQL semantics.
+
+    *ordered* compares row lists positionally (use when the ordering is
+    fully determined); otherwise rows compare as multisets.  Numbers
+    compare by SQL value (``0 = 0.0 = -0.0``; exact for integral values,
+    12 significant digits otherwise), NaNs form one equality class, and
+    *lax* additionally merges SQLite's bool representation
+    (``True`` = ``1``).  This is the one comparison routine shared by the
+    fuzzer's oracles and the hand-written differential tests.
+    """
+    a = [normalize_row(r, lax) for r in expected]
+    b = [normalize_row(r, lax) for r in actual]
+    if not ordered:
+        a.sort()
+        b.sort()
+    return a == b
+
+
+def is_sorted_by(rows, keys) -> bool:
+    """Whether *rows* respects ``keys`` — ((position, descending), ...) —
+    under the engine's ordering (ASC = NULLS LAST, DESC = NULLS FIRST,
+    NaN above every number).  The oracle applies this to each outcome of a
+    partially-ordered query, where bag comparison alone would let a broken
+    ordering slip through."""
+    if not keys:
+        return True
+    descending = [desc for _, desc in keys]
+    previous = None
+    for row in rows:
+        key = row_sort_key([row[pos] for pos, _ in keys], descending)
+        if previous is not None and key < previous:
+            return False
+        previous = key
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Outcomes
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Outcome:
+    """What one statement did under one configuration."""
+
+    status: str                      # 'ok' | 'error'
+    rows: Optional[list] = None
+    error: Optional[str] = None      # taxonomy label when status == 'error'
+    message: str = ""
+
+    @property
+    def crashed(self) -> bool:
+        return self.status == "error" and self.error == CRASH
+
+    def describe(self) -> str:
+        if self.status == "ok":
+            sample = ", ".join(repr(r) for r in (self.rows or [])[:4])
+            more = "" if len(self.rows or []) <= 4 else ", ..."
+            return f"ok: {len(self.rows or [])} rows [{sample}{more}]"
+        return f"{self.error}: {self.message}"
+
+
+def run_statement(db: Database, sql: str, params=()) -> Outcome:
+    """Execute one statement, folding the result or failure into an
+    :class:`Outcome` with the engine's error taxonomy applied."""
+    try:
+        result = db.execute(sql, list(params))
+    except Exception as error:  # noqa: BLE001 — taxonomy decides severity
+        return Outcome("error", error=error_class(error),
+                       message=f"{type(error).__name__}: {error}")
+    return Outcome("ok", rows=list(result.rows))
+
+
+@dataclass
+class Discrepancy:
+    """One disagreement between two oracles on one statement."""
+
+    kind: str            # 'result' | 'status' | 'order' | 'crash' | 'sqlite'
+    case: Case
+    query: Query
+    sql: str
+    config_a: str
+    config_b: str
+    outcome_a: Outcome
+    outcome_b: Outcome
+
+    def describe(self) -> str:
+        return (f"[{self.kind}] case seed {self.case.seed}\n"
+                f"  sql: {self.sql}\n"
+                f"  {self.config_a}: {self.outcome_a.describe()}\n"
+                f"  {self.config_b}: {self.outcome_b.describe()}")
+
+
+# ---------------------------------------------------------------------------
+# The settings matrix
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OracleConfig:
+    """A named engine configuration: SET statements applied after RESET."""
+
+    label: str
+    set_statements: tuple[str, ...]
+
+    def apply(self, db: Database) -> None:
+        db.execute("RESET ALL")
+        for statement in self.set_statements:
+            db.execute(statement)
+
+
+def _set_sql(setting, value) -> str:
+    if setting.type == "bool":
+        return f"SET {setting.name} = {'on' if value else 'off'}"
+    if setting.type == "enum":
+        return f"SET {setting.name} = '{value}'"
+    return f"SET {setting.name} = {value}"
+
+
+def settings_matrix(db: Database) -> list[OracleConfig]:
+    """The oracle configuration matrix, derived from the registry.
+
+    Mechanical construction: a baseline with every finite plan-affecting
+    setting at its first domain value (all booleans off — seq scan, full
+    sort, nested loop, scalar UDF calls), each setting toggled through its
+    other values on top of *both* the baseline and the defaults (so
+    features that only act in combination, like batching under inlining,
+    still get isolated), the plain defaults, and the defaults without the
+    statement plan cache.
+    """
+    axes = db.settings.plan_axes()
+    baseline = {s.name: values[0] for s, values in axes}
+    defaults = {s.name: db._setting_defaults[s.name] for s, _ in axes}
+
+    def config(label: str, overrides: dict) -> OracleConfig:
+        statements = tuple(
+            _set_sql(setting, overrides[setting.name])
+            for setting, _ in axes if setting.name in overrides)
+        return OracleConfig(label, statements)
+
+    configs = [config("baseline", baseline)]
+    seen = {tuple(sorted(baseline.items()))}
+
+    def add(label: str, overrides: dict) -> None:
+        key = tuple(sorted(overrides.items()))
+        if key not in seen:
+            seen.add(key)
+            configs.append(config(label, overrides))
+
+    for setting, values in axes:
+        for value in values:
+            if value != baseline[setting.name]:
+                add(f"baseline+{setting.name}={setting.format(value)}",
+                    {**baseline, setting.name: value})
+    add("defaults", defaults)
+    for setting, values in axes:
+        for value in values:
+            if value != defaults[setting.name]:
+                add(f"defaults+{setting.name}={setting.format(value)}",
+                    {**defaults, setting.name: value})
+    nocache = OracleConfig("defaults+plan_cache_enabled=off",
+                           ("SET plan_cache_enabled = off",))
+    configs.append(nocache)
+    return configs
+
+
+# ---------------------------------------------------------------------------
+# SQLite cross-check
+# ---------------------------------------------------------------------------
+
+_SQLITE_AFFINITY = {"int": "INTEGER", "float": "REAL",
+                    "text": "TEXT", "bool": "INTEGER"}
+
+
+def _sqlite_database(case: Case) -> sqlite3.Connection:
+    conn = sqlite3.connect(":memory:")
+    for table in case.schema.tables:
+        columns = ", ".join(
+            f"{c.name} {_SQLITE_AFFINITY[c.dtype]}" for c in table.columns)
+        conn.execute(f"CREATE TABLE {table.name}({columns})")
+        for index in table.indexes:
+            cols = ", ".join(f"{n} DESC" if d else n
+                             for n, d in index.columns)
+            conn.execute(
+                f"CREATE INDEX {index.name} ON {index.table}({cols})")
+        rows = case.data.get(table.name, [])
+        if rows:
+            holes = ", ".join("?" * len(table.columns))
+            conn.executemany(
+                f"INSERT INTO {table.name} VALUES ({holes})", rows)
+    return conn
+
+
+def _run_sqlite(conn: sqlite3.Connection, sql: str) -> Outcome:
+    try:
+        rows = conn.execute(sql).fetchall()
+    except sqlite3.Error as error:
+        return Outcome("error", error=f"sqlite-{type(error).__name__}",
+                       message=str(error))
+    return Outcome("ok", rows=rows)
+
+
+def _sqlite_difference_explained(engine: Outcome, lite: Outcome) -> bool:
+    """Known dialect gaps that are not engine bugs: SQLite cannot
+    represent ints outside signed 64-bit (its arithmetic raises where this
+    engine's Python ints keep going), and NaN/Inf results degrade to NULL
+    on its side."""
+    if lite.status == "error" and "overflow" in lite.message.lower():
+        return True
+    for row in engine.rows or []:
+        for value in row:
+            if isinstance(value, bool):
+                continue
+            if not value_sqlite_safe(value):
+                return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# The checker
+# ---------------------------------------------------------------------------
+
+
+class DifferentialChecker:
+    """Runs a case's queries across all oracles and reports disagreements.
+
+    ``profiler`` (a :class:`repro.sql.profiler.Profiler`) aggregates the
+    fuzz counters across cases; the per-case scratch databases run
+    unprofiled for speed.
+    """
+
+    def __init__(self, use_sqlite: bool = True,
+                 profiler: Optional[Profiler] = None):
+        self.use_sqlite = use_sqlite
+        self.profiler = profiler if profiler is not None else Profiler()
+
+    # -- case setup -----------------------------------------------------
+
+    def build_database(self, case: Case) -> tuple[Database, dict]:
+        """A fresh engine loaded with the case's schema, data, and both
+        the interpreted and (where compilable) compiled function twins.
+        Returns ``(db, {function name: compiled name or None})``."""
+        db = Database(seed=0, profile=False)
+        for statement in case.setup_statements():
+            db.execute(statement)
+        for table in case.schema.tables:
+            rows = case.data.get(table.name, [])
+            if rows:
+                holes = ", ".join(f"${i + 1}"
+                                  for i in range(len(table.columns)))
+                insert = f"INSERT INTO {table.name} VALUES ({holes})"
+                for row in rows:
+                    db.execute(insert, row)
+        compiled = {}
+        for fn in case.functions:
+            db.execute(fn.source)
+            try:
+                from repro.compiler import compile_plsql
+                compile_plsql(fn.source, db).register(
+                    db, name=f"{fn.name}_c")
+                compiled[fn.name] = f"{fn.name}_c"
+            except SqlError:
+                # A deliberate CompileError (unsupported shape) leaves an
+                # interpreter-only twin; anything else is a compiler
+                # crash and must propagate to the harness's reporting.
+                compiled[fn.name] = None
+        return db, compiled
+
+    # -- checking -------------------------------------------------------
+
+    def check_case(self, case: Case) -> list[Discrepancy]:
+        profiler = self.profiler
+        profiler.bump(FUZZ_CASES)
+        db, compiled = self.build_database(case)
+        configs = settings_matrix(db)
+
+        # Concrete statements per query: (variant label, sql).
+        variants_per_query: list[list[tuple[str, str]]] = []
+        for query in case.queries:
+            if query.function is None:
+                variants_per_query.append([("plain", query.sql)])
+            else:
+                variants = [("interp",
+                             query.sql.format(f=query.function))]
+                twin = compiled.get(query.function)
+                if twin:
+                    variants.append(("compiled", query.sql.format(f=twin)))
+                variants_per_query.append(variants)
+
+        # Execute everything: outcomes[query index][variant][config label].
+        outcomes: list[dict[str, dict[str, Outcome]]] = [
+            {label: {} for label, _ in variants}
+            for variants in variants_per_query]
+        for config in configs:
+            config.apply(db)
+            for qi, variants in enumerate(variants_per_query):
+                for label, sql in variants:
+                    outcomes[qi][label][config.label] = run_statement(
+                        db, sql)
+                    profiler.bump(FUZZ_EXECUTIONS)
+
+        discrepancies: list[Discrepancy] = []
+
+        def report(kind, query, sql, config_a, config_b, a, b):
+            profiler.bump(FUZZ_DISCREPANCIES)
+            discrepancies.append(Discrepancy(
+                kind=kind, case=case, query=query, sql=sql,
+                config_a=config_a, config_b=config_b,
+                outcome_a=a, outcome_b=b))
+
+        baseline_label = configs[0].label
+        sqlite_conn = None
+        for qi, (query, variants) in enumerate(
+                zip(case.queries, variants_per_query)):
+            ref_variant = variants[0][0]
+            ref_sql = variants[0][1]
+            reference = outcomes[qi][ref_variant][baseline_label]
+            if reference.crashed:
+                report("crash", query, ref_sql, baseline_label,
+                       baseline_label, reference, reference)
+                continue
+            if (reference.status == "ok" and query.order != "none"
+                    and not is_sorted_by(reference.rows,
+                                         query.order_keys)):
+                # Absolute check: every other config is compared against
+                # the baseline, so a mis-sort all strategies share would
+                # otherwise be invisible.
+                report("order", query, ref_sql, baseline_label,
+                       baseline_label, reference, reference)
+                continue
+            for label, sql in variants:
+                for config in configs:
+                    outcome = outcomes[qi][label][config.label]
+                    if label == ref_variant and \
+                            config.label == baseline_label:
+                        continue
+                    profiler.bump(FUZZ_COMPARISONS)
+                    where = f"{config.label}/{label}"
+                    base = f"{baseline_label}/{ref_variant}"
+                    if outcome.crashed:
+                        report("crash", query, sql, base, where,
+                               reference, outcome)
+                        continue
+                    if outcome.status != reference.status:
+                        report("status", query, sql, base, where,
+                               reference, outcome)
+                        continue
+                    if outcome.status == "error":
+                        # Both reject: agreement only at the same stage
+                        # of the taxonomy (an execution error in one
+                        # strategy vs a plan error in another is a
+                        # divergence worth seeing).
+                        if outcome.error != reference.error:
+                            report("status", query, sql, base, where,
+                                   reference, outcome)
+                        continue
+                    ordered = query.order == "total"
+                    if not rows_equal(reference.rows, outcome.rows,
+                                      ordered=ordered):
+                        report("result", query, sql, base, where,
+                               reference, outcome)
+                        continue
+                    if query.order == "partial" and not is_sorted_by(
+                            outcome.rows, query.order_keys):
+                        report("order", query, sql, where, where,
+                               outcome, outcome)
+            if (self.use_sqlite and query.sqlite_sql is not None
+                    and reference.status == "ok"
+                    and data_sqlite_safe(case.data)):
+                if sqlite_conn is None:
+                    sqlite_conn = _sqlite_database(case)
+                profiler.bump(FUZZ_SQLITE_CHECKS)
+                lite = _run_sqlite(sqlite_conn, query.sqlite_sql)
+                agree = (lite.status == "ok"
+                         and rows_equal(reference.rows, lite.rows,
+                                        ordered=query.order == "total",
+                                        lax=True))
+                if not agree:
+                    if _sqlite_difference_explained(reference, lite):
+                        profiler.bump(FUZZ_DIALECT_EXPLAINED)
+                    else:
+                        report("sqlite", query, query.sqlite_sql,
+                               baseline_label, "sqlite3", reference, lite)
+        if sqlite_conn is not None:
+            sqlite_conn.close()
+        return discrepancies

@@ -67,3 +67,43 @@ class CompileError(SqlError):
 
 class LoopNotSupportedError(CompileError):
     """Raised by the Froid baseline when the input function contains a loop."""
+
+
+#: Stable taxonomy labels, most-specific class first: :func:`error_class`
+#: returns the label of the first matching entry.  The differential
+#: fuzzer's oracle compares *labels*, not exception identity, so two
+#: execution strategies "agree" when both reject a statement at the same
+#: stage — while an exception outside the :class:`SqlError` hierarchy
+#: (KeyError, RecursionError, ...) classifies as ``"crash"`` and is always
+#: reported, even when every strategy crashes alike.
+_ERROR_TAXONOMY: tuple[tuple[type, str], ...] = (
+    (ParseError, "parse"),
+    (NameResolutionError, "name-resolution"),
+    (PlanError, "plan"),
+    (ExecutionError, "execution"),
+    (TypeError_, "type"),
+    (CatalogError, "catalog"),
+    (SettingError, "setting"),
+    (LoopNotSupportedError, "compile"),
+    (CompileError, "compile"),
+    (PlsqlRuntimeError, "plsql-runtime"),
+    (PlsqlError, "plsql"),
+    (SqlError, "sql"),
+)
+
+#: Label for exceptions no deliberate engine error path raised.
+CRASH = "crash"
+
+
+def error_class(error: BaseException) -> str:
+    """Classify *error* into the engine's error taxonomy.
+
+    Returns a stable stage label ("parse", "plan", "execution", ...) for
+    deliberate :class:`SqlError` rejections and :data:`CRASH` for anything
+    else, letting oracles distinguish "both strategies reject this input"
+    (agreement) from "the engine fell over" (always a bug).
+    """
+    for exc_type, label in _ERROR_TAXONOMY:
+        if isinstance(error, exc_type):
+            return label
+    return CRASH

@@ -409,11 +409,19 @@ class AvgAgg(Aggregate):
     name = "avg"
 
     def create(self):
-        return (0, 0.0)
+        # The running total starts as exact int 0, not float 0.0: integer
+        # input then accumulates losslessly (Python bigints), like
+        # PostgreSQL's numeric avg(int).  Seeding with a float made the
+        # whole sum float, so avg over large ints depended on row order —
+        # avg of {7, -2^63, 2^63} came out 0.0 or 7/3 depending on the
+        # access path (found by differential fuzzing, seed 2001273).
+        return (0, 0)
 
     def step(self, state, value):
         if value is None:
             return state
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise TypeError_("avg expects numbers")
         count, total = state
         return (count + 1, total + value)
 

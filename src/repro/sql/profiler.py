@@ -75,6 +75,18 @@ PREPARED_EXECUTIONS = "prepared executions"
 PREPARED_REPLANS = "prepared replans"
 SETTINGS_ASSIGNMENTS = "settings assignments"
 PLAN_CACHE_EVICTIONS = "plan cache evictions"
+#: Differential fuzzing (repro.fuzz): generated cases checked, individual
+#: statement executions across the oracle settings matrix, outcome pairs
+#: compared, statements cross-checked against SQLite, discrepancies found,
+#: and engine-vs-SQLite differences explained away by the known-dialect
+#: classifier (integer width, NaN storage, ...).  Bumped on the harness's
+#: own profiler, not the per-case scratch databases.
+FUZZ_CASES = "fuzz cases"
+FUZZ_EXECUTIONS = "fuzz oracle executions"
+FUZZ_COMPARISONS = "fuzz oracle comparisons"
+FUZZ_SQLITE_CHECKS = "fuzz sqlite cross-checks"
+FUZZ_DISCREPANCIES = "fuzz discrepancies"
+FUZZ_DIALECT_EXPLAINED = "fuzz dialect differences explained"
 
 
 class Profiler:

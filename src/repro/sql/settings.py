@@ -128,6 +128,22 @@ class Setting:
             return "on" if value else "off"
         return str(value)
 
+    def enumerable_values(self) -> Optional[tuple]:
+        """Every value of a finitely-enumerable domain, or None.
+
+        Bools enumerate to ``(False, True)`` and enums to their declared
+        choices; int settings have no finite domain and return None.  This
+        is the hook the differential fuzzer's oracle matrix is built from
+        (:func:`repro.fuzz.oracle.settings_matrix`): a new planner flag
+        declared in :func:`_default_settings` joins the fuzzed
+        configuration space with no fuzzer change.
+        """
+        if self.type == "bool":
+            return (False, True)
+        if self.type == "enum":
+            return tuple(self.choices or ())
+        return None
+
 
 def _default_settings() -> list[Setting]:
     planner_flags = [
@@ -220,6 +236,18 @@ class SettingsRegistry:
         """The boot-time defaults, captured by :class:`~repro.sql.engine.
         Database` right after construction (RESET targets)."""
         return {name: s.get(self._db) for name, s in self._settings.items()}
+
+    def plan_axes(self) -> list[tuple[Setting, tuple]]:
+        """The machine-enumerable plan-affecting settings with their domains.
+
+        Each entry is ``(setting, values)`` where *values* is the setting's
+        full finite domain (see :meth:`Setting.enumerable_values`).  The
+        differential fuzzer derives its oracle configuration matrix from
+        this list, so the matrix tracks the registry: adding a planner flag
+        here is all it takes for the fuzzer to sweep it.
+        """
+        return [(s, s.enumerable_values()) for s in self._plan_affecting
+                if s.enumerable_values() is not None]
 
     def fingerprint(self) -> tuple:
         """The tuple of all plan-affecting values, read live.

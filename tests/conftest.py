@@ -33,8 +33,14 @@ def demo():
 def compile_and_run(db: Database, source: str, calls: list[tuple[str, list]],
                     seed: int = 11) -> None:
     """Register *source* interpreted and compiled; assert both agree on
-    every call in *calls* (sql uses {f} as the function-name placeholder)."""
+    every call in *calls* (sql uses {f} as the function-name placeholder).
+
+    Result comparison goes through the fuzzer's shared
+    :func:`repro.fuzz.oracle.rows_equal` (one equality definition for
+    hand-written and generated differential tests alike).
+    """
     from repro.compiler import compile_plsql
+    from repro.fuzz.oracle import rows_equal
     from repro.sql import ast as A
     from repro.sql.parser import parse_statement
 
@@ -50,4 +56,5 @@ def compile_and_run(db: Database, source: str, calls: list[tuple[str, list]],
         expected = db.execute(sql.format(f=name), params).rows
         db.reseed(seed)
         actual = db.execute(sql.format(f=f"{name}_c"), params).rows
-        assert actual == expected, (sql, params, expected, actual)
+        assert rows_equal(expected, actual, ordered=True), \
+            (sql, params, expected, actual)

@@ -23,6 +23,11 @@ results:
 
 It also pins the two engine bugs this differential setup surfaced: the
 missing ``^`` power operator and the absent runaway-loop statement budget.
+
+Result comparison uses :func:`repro.fuzz.oracle.rows_equal` — the same
+bag/list equality (NULL and NaN classes, -0.0 = 0.0, float canonicalization)
+that the fuzzer's oracles apply, so hand-written and generated differential
+coverage share one definition of "agree".
 """
 
 from __future__ import annotations
@@ -30,6 +35,7 @@ from __future__ import annotations
 import pytest
 
 from repro.compiler import compile_plsql
+from repro.fuzz.oracle import rows_equal
 from repro.sql import Database
 from repro.sql.errors import ExecutionError, ParseError
 
@@ -187,7 +193,8 @@ class TestBatchedUdfEquivalence:
         for label, settings in BATCH_MODES:
             got = _query_with(db, settings,
                               f"SELECT {name}_c({cols}) FROM args")
-            assert got == interpreted, (label, source)
+            assert rows_equal(interpreted, got, ordered=True), \
+                (label, source)
 
     def test_zero_row_input(self, db):
         _register_both(db, GCD)
@@ -534,9 +541,9 @@ JOIN_QUERIES = [
 class TestHashJoinEquivalence:
     @pytest.mark.parametrize("sql", JOIN_QUERIES)
     def test_hash_and_nestloop_agree(self, sql):
-        hashed = sorted(_join_db(True).query_all(sql), key=str)
-        nested = sorted(_join_db(False).query_all(sql), key=str)
-        assert hashed == nested
+        hashed = _join_db(True).query_all(sql)
+        nested = _join_db(False).query_all(sql)
+        assert rows_equal(nested, hashed)  # join order is unspecified
 
     def test_null_keys_never_match(self):
         for hashjoin in (True, False):
@@ -703,7 +710,8 @@ class TestOrderedPathsDifferential:
         fast = [db.query_all(sql) for sql in self.RANGE_QUERIES]
         _baseline(db)
         slow = [db.query_all(sql) for sql in self.RANGE_QUERIES]
-        assert fast == slow
+        for sql, a, b in zip(self.RANGE_QUERIES, slow, fast):
+            assert rows_equal(a, b, ordered=True), sql
 
     ORDER_QUERIES = [
         "SELECT k, u FROM d ORDER BY k, u",
@@ -725,7 +733,8 @@ class TestOrderedPathsDifferential:
         explains = [db.explain(sql) for sql in self.ORDER_QUERIES]
         _baseline(db)
         slow = [db.query_all(sql) for sql in self.ORDER_QUERIES]
-        assert fast == slow
+        for sql, a, b in zip(self.ORDER_QUERIES, slow, fast):
+            assert rows_equal(a, b, ordered=True), sql
         # The index really served the fully-matching orderings.
         assert "IndexRangeScan" in explains[0]
         assert "IndexRangeScan" in explains[1]
@@ -736,7 +745,7 @@ class TestOrderedPathsDifferential:
         assert "TopN" in db.explain(sql)
         fast = db.query_all(sql)
         _baseline(db)
-        assert fast == db.query_all(sql)
+        assert rows_equal(db.query_all(sql), fast, ordered=True)
 
     def test_prefix_elimination_is_order_correct(self):
         """ORDER BY a prefix of a wider index: tie order is unspecified by
@@ -789,7 +798,9 @@ class TestOrderedPathsDifferential:
         db.planner.enable_topn = False
         db.clear_plan_cache()
         nested = [db.query_all(sql) for sql in queries]
-        assert merge == hashed == nested
+        for sql, m, h, n in zip(queries, merge, hashed, nested):
+            assert rows_equal(n, h, ordered=True), sql
+            assert rows_equal(n, m, ordered=True), sql
 
     def test_dml_between_probes_agrees(self):
         """The incrementally-maintained index and a fresh scan must agree
@@ -814,4 +825,4 @@ class TestOrderedPathsDifferential:
             db.planner.enable_rangescan = True
             db.planner.enable_sort_elim = True
             db.clear_plan_cache()
-            assert fast == slow, statement
+            assert rows_equal(slow, fast, ordered=True), statement

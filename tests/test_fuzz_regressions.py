@@ -1,0 +1,172 @@
+"""Regressions found by the differential fuzzer (``python -m repro.fuzz``).
+
+Each test pins one discrepancy the fuzzer surfaced, in its delta-debugged
+minimal form (3 statements each, shrunk from 2-5-query cases over
+multi-table schemas by :mod:`repro.fuzz.reduce`):
+
+1. **seed 2001273 (engine-vs-engine)** — ``avg()`` seeded its running
+   total with float ``0.0``, so integer input accumulated in floating
+   point and the result depended on row delivery order: over
+   ``{7, -2^63, 2^63}`` a seq scan produced ``0.0`` (the 7 vanished in
+   catastrophic cancellation) while an index range scan — same rows,
+   different order — produced ``7/3``.  Fixed by accumulating exactly
+   (Python bigints) like PostgreSQL's numeric ``avg(int)``.
+
+2. **seed 2001579 (engine-vs-SQLite)** — SQLite does not raise on int64
+   overflow in ``+ - *``; it silently degrades to floating point, so
+   ``(-2^63) - ((-2^63) + (-3))`` is ``0.0`` there and exact ``3`` here.
+   The engine's bigint arithmetic is the intended (PostgreSQL-faithful)
+   behaviour; the fix bounds the SQLite oracle's *input* ints to 32 bits
+   (``value_sqlite_arithmetic_safe``) so the cross-check stays sound.
+
+A final sweep test re-runs slices of the seeds that were fuzzed clean at
+development time (seeds 0/1/2/7/11 x hundreds of cases each, plus the two
+fixes above), so the "zero unexplained discrepancies" property is
+continuously re-proven on a bounded budget.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz import Case, DifferentialChecker, Query, rows_equal
+from repro.fuzz.datagen import (data_sqlite_safe,
+                                value_sqlite_arithmetic_safe)
+from repro.fuzz.schema import ColumnSpec, SchemaSpec, TableSpec
+from repro.sql import Database
+
+INT64_MIN = -(2**63)
+
+
+# ---------------------------------------------------------------------------
+# 1. avg() float accumulation (engine-vs-engine, fuzz seed 2001273)
+# ---------------------------------------------------------------------------
+
+AVG_CASE = Case(
+    seed=2001273,
+    schema=SchemaSpec(tables=(
+        TableSpec("t0", (ColumnSpec("c0_0", "int", "num", "int"),
+                         ColumnSpec("c3_0", "int", "num", "int"))),)),
+    data={"t0": [(7, 2**63 - 1), (INT64_MIN, 2), (2**63, 2)]},
+    functions=(),
+    queries=(Query(
+        sql="SELECT avg(a.c0_0) FROM t0 a "
+            "WHERE ((a.c3_0 >= (-2)) AND (a.c3_0 >= (-5)))",
+        sqlite_sql=None),))
+
+
+class TestAvgExactAccumulation:
+    def test_minimized_fuzz_case_is_clean(self):
+        assert DifferentialChecker(use_sqlite=False).check_case(
+            AVG_CASE) == []
+
+    def test_avg_of_large_ints_is_exact_and_order_independent(self, db):
+        db.execute("CREATE TABLE t(x int)")
+        db.execute("INSERT INTO t VALUES (7), ($1), ($2)",
+                   [INT64_MIN, 2**63])
+        forward = db.query_value("SELECT avg(x) FROM t")
+        db.execute("DELETE FROM t")
+        db.execute("INSERT INTO t VALUES ($1), ($2), (7)",
+                   [2**63, INT64_MIN])
+        backward = db.query_value("SELECT avg(x) FROM t")
+        assert forward == backward == 7 / 3
+
+    def test_avg_small_ints_unchanged(self, db):
+        db.execute("CREATE TABLE t(x int)")
+        db.execute("INSERT INTO t VALUES (1), (2), (4)")
+        assert db.query_value("SELECT avg(x) FROM t") == 7 / 3
+
+    def test_avg_floats_still_float(self, db):
+        db.execute("CREATE TABLE t(x double precision)")
+        db.execute("INSERT INTO t VALUES (0.5), (1.5)")
+        assert db.query_value("SELECT avg(x) FROM t") == 1.0
+
+    def test_avg_rejects_non_numbers_like_sum(self, db):
+        from repro.sql.errors import TypeError_
+        db.execute("CREATE TABLE t(s text)")
+        db.execute("INSERT INTO t VALUES ('a')")
+        with pytest.raises(TypeError_):
+            db.query_value("SELECT avg(s) FROM t")
+        with pytest.raises(TypeError_):
+            db.query_value("SELECT sum(s) FROM t")
+
+    def test_avg_empty_and_null_only(self, db):
+        db.execute("CREATE TABLE t(x int)")
+        assert db.query_value("SELECT avg(x) FROM t") is None
+        db.execute("INSERT INTO t VALUES (NULL)")
+        assert db.query_value("SELECT avg(x) FROM t") is None
+
+
+# ---------------------------------------------------------------------------
+# 2. SQLite int64 overflow degradation (engine-vs-SQLite, fuzz seed 2001579)
+# ---------------------------------------------------------------------------
+
+SQLITE_CASE = Case(
+    seed=2001579,
+    schema=SchemaSpec(tables=(
+        TableSpec("t0", (ColumnSpec("c0_0", "int", "num", "int"),
+                         ColumnSpec("c1_0", "text", "text", "text"),
+                         ColumnSpec("c2_0", "text", "text", "text"))),)),
+    data={"t0": [(INT64_MIN, "%_x", None)]},
+    functions=(),
+    queries=(Query(
+        sql="SELECT a.c1_0, (a.c0_0 - (a.c0_0 + (-3))), "
+            "(a.c2_0 || replace('b', 'a', 'zz')) FROM t0 a "
+            "ORDER BY 3, 1, 2",
+        sqlite_sql="SELECT a.c1_0, (a.c0_0 - (a.c0_0 + (-3))), "
+                   "(a.c2_0 || replace('b', 'a', 'zz')) FROM t0 a "
+                   "ORDER BY 3 NULLS LAST, 1 NULLS LAST, 2 NULLS LAST",
+        order="total",
+        order_keys=((2, False), (0, False), (1, False))),))
+
+
+class TestSqliteOverflowGate:
+    def test_minimized_fuzz_case_is_clean(self):
+        """Boundary-int data no longer reaches the SQLite oracle (whose
+        int64 arithmetic would silently go floating point), and the
+        engine side of the case still checks clean across the matrix."""
+        assert DifferentialChecker(use_sqlite=True).check_case(
+            SQLITE_CASE) == []
+
+    def test_engine_keeps_exact_bigint_arithmetic(self, db):
+        """The engine half of the discrepancy is the *intended*
+        behaviour: exact, PostgreSQL-faithful bigint arithmetic."""
+        db.execute("CREATE TABLE t(x int)")
+        db.execute("INSERT INTO t VALUES ($1)", [INT64_MIN])
+        assert db.query_all("SELECT x - (x + (-3)) FROM t") == [(3,)]
+
+    def test_arithmetic_gate_bounds_input_ints(self):
+        assert value_sqlite_arithmetic_safe(2**31)
+        assert not value_sqlite_arithmetic_safe(2**31 + 1)
+        assert not value_sqlite_arithmetic_safe(INT64_MIN)
+        assert value_sqlite_arithmetic_safe(0.5)
+        assert value_sqlite_arithmetic_safe("x")
+        assert not data_sqlite_safe({"t": [(INT64_MIN,)]})
+        assert data_sqlite_safe({"t": [(-(2**31), "a")]})
+
+
+# ---------------------------------------------------------------------------
+# The standing seed sweep: zero unexplained discrepancies
+# ---------------------------------------------------------------------------
+
+
+class TestSeedSweep:
+    """Representative windows of the development-time sweep (seeds 0, 1,
+    2, 7, 11, 30 and 31 — over ten thousand cases checked clean after the
+    fixes above) re-run here on a tier-1 budget.  The minimized
+    reproducers above pin the two historical finds exactly; these windows
+    keep proving the standing "zero unexplained discrepancies" property
+    on fresh generator output."""
+
+    @pytest.mark.parametrize("seed,start,count", [
+        (1, 180, 8),
+        (2, 1265, 6),
+        (30, 0, 8),
+        (31, 100, 8),
+    ])
+    def test_windows_stay_clean(self, seed, start, count):
+        from repro.fuzz.__main__ import run_fuzz
+        failures = run_fuzz(seed=seed, cases=count, start_index=start,
+                            reduce_failures=False, emit_dir=None,
+                            verbose=False)
+        assert failures == 0
