@@ -20,9 +20,10 @@ from repro.sql.profiler import (FUZZ_CASES, FUZZ_COMPARISONS,
                                 FUZZ_EXECUTIONS, FUZZ_SQLITE_CHECKS,
                                 Profiler)
 
-from .oracle import DifferentialChecker
+from .oracle import DifferentialChecker, check_txn_case
 from .querygen import generate_case
 from .reduce import Reducer, emit_pytest
+from .txngen import generate_txn_case
 
 
 def run_fuzz(seed: int = 0, cases: int = 200, *, use_sqlite: bool = True,
@@ -97,6 +98,63 @@ def run_fuzz(seed: int = 0, cases: int = 200, *, use_sqlite: bool = True,
     return failures
 
 
+def run_txn_fuzz(seed: int = 0, cases: int = 500, *,
+                 use_sqlite: bool = True, time_budget: float | None = None,
+                 max_failures: int = 5, start_index: int = 0,
+                 verbose: bool = True,
+                 profiler: Profiler | None = None) -> int:
+    """Run the multi-session transaction fuzz axis; returns failures.
+
+    Each case is an interleaved BEGIN/COMMIT/ROLLBACK/SAVEPOINT script
+    over several connections, checked against step expectations, a
+    forced-autocommit serial replay of the committed statements, and a
+    SQLite cross-check (see :func:`repro.fuzz.oracle.check_txn_case`).
+    """
+    profiler = profiler if profiler is not None else Profiler()
+    started = time.monotonic()
+    failures = 0
+    for index in range(start_index, start_index + cases):
+        if time_budget is not None and \
+                time.monotonic() - started > time_budget:
+            if verbose:
+                print(f"time budget ({time_budget:.0f}s) reached after "
+                      f"{index - start_index} cases")
+            break
+        case = generate_txn_case(seed, index)
+        try:
+            discrepancies = check_txn_case(case, use_sqlite=use_sqlite,
+                                           profiler=profiler)
+        except Exception as error:  # noqa: BLE001 — harness must survive
+            failures += 1
+            print(f"txn case {index} (seed {case.seed}): harness error "
+                  f"{type(error).__name__}: {error}", file=sys.stderr)
+            if failures >= max_failures:
+                break
+            continue
+        if not discrepancies:
+            continue
+        failures += 1
+        print(f"txn case {index} (seed {case.seed}): "
+              f"{len(discrepancies)} discrepancies", file=sys.stderr)
+        print(discrepancies[0].describe(), file=sys.stderr)
+        print("  script:\n" + case.script(), file=sys.stderr)
+        if failures >= max_failures:
+            if verbose:
+                print(f"stopping after {max_failures} failing cases",
+                      file=sys.stderr)
+            break
+    if verbose:
+        counts = profiler.counts
+        print(f"txn seed {seed}: {counts[FUZZ_CASES]} cases, "
+              f"{counts[FUZZ_EXECUTIONS]} statements, "
+              f"{counts[FUZZ_COMPARISONS]} state comparisons, "
+              f"{counts[FUZZ_SQLITE_CHECKS]} sqlite cross-checks, "
+              f"{counts[FUZZ_DISCREPANCIES]} discrepancies, "
+              f"{failures} failing cases "
+              f"in {time.monotonic() - started:.1f}s")
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.fuzz",
@@ -123,11 +181,25 @@ def main(argv: list[str] | None = None) -> int:
                         help="report discrepancies without delta-debugging")
     parser.add_argument("--dump", action="store_true",
                         help="print each generated case instead of checking")
+    parser.add_argument("--txn", action="store_true",
+                        help="fuzz the multi-session transaction axis "
+                             "(interleaved BEGIN/COMMIT/ROLLBACK/SAVEPOINT "
+                             "scripts against the committed-state oracle)")
     args = parser.parse_args(argv)
     if args.dump:
         for index in range(args.index, args.index + args.cases):
-            sys.stdout.write(generate_case(args.seed, index).script())
+            if args.txn:
+                sys.stdout.write(generate_txn_case(args.seed, index).script())
+            else:
+                sys.stdout.write(generate_case(args.seed, index).script())
         return 0
+    if args.txn:
+        failures = run_txn_fuzz(
+            seed=args.seed, cases=args.cases,
+            use_sqlite=not args.no_sqlite,
+            time_budget=args.time_budget, max_failures=args.max_failures,
+            start_index=args.index)
+        return 1 if failures else 0
     failures = run_fuzz(
         seed=args.seed, cases=args.cases, use_sqlite=not args.no_sqlite,
         reduce_failures=not args.no_reduce, emit_dir=args.emit_dir,

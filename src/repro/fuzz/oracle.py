@@ -44,6 +44,7 @@ from repro.sql.values import Row, row_sort_key
 
 from .datagen import data_sqlite_safe, value_sqlite_safe
 from .querygen import Case, Query
+from .txngen import CONFLICT, OK, TxnCase
 
 # ---------------------------------------------------------------------------
 # Row normalization and comparison (the shared helper)
@@ -480,3 +481,165 @@ class DifferentialChecker:
         if sqlite_conn is not None:
             sqlite_conn.close()
         return discrepancies
+
+
+# ---------------------------------------------------------------------------
+# The committed-state oracle (multi-session transaction cases)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class TxnDiscrepancy:
+    """One failure of a transaction case against its oracle."""
+
+    kind: str        # 'expect' | 'state' | 'sqlite' | 'crash'
+    case: TxnCase
+    detail: str
+
+    def describe(self) -> str:
+        return (f"[txn/{self.kind}] case seed {self.case.seed}\n"
+                f"  {self.detail}")
+
+
+def _table_rows(db: Database, table: str) -> list:
+    return list(db.execute(f"SELECT k, v FROM {table}").rows)
+
+
+def check_txn_case(case: TxnCase, *, use_sqlite: bool = True,
+                   profiler: Optional[Profiler] = None
+                   ) -> list[TxnDiscrepancy]:
+    """Run one interleaved multi-session script and check it three ways.
+
+    * **Expectations** — every step must do what the generator promised:
+      plain steps succeed, conflict probes raise ``SerializationError``
+      (first-writer-wins must never let the probe through, and must not
+      fail with anything else).
+    * **Committed-state equality** — the final contents of every table
+      must equal a *serial* forced-autocommit replay of exactly the
+      statements that committed (per-session buffering: a transaction's
+      statements enter the replay log at its COMMIT, in commit order;
+      rolled-back blocks, savepoint-undone spans, and failed statements
+      contribute nothing).  Per table there is a single writer session
+      by construction, so the serial replay is a true linearization.
+    * **SQLite cross-check** — the same replay log runs on sqlite3
+      (every statement is literal integer DML, so it is dialect-safe)
+      and must land in the same committed state.
+    """
+    from repro.sql.errors import SerializationError
+    profiler = profiler if profiler is not None else Profiler()
+    profiler.bump(FUZZ_CASES)
+    discrepancies: list[TxnDiscrepancy] = []
+
+    def report(kind: str, detail: str) -> None:
+        profiler.bump(FUZZ_DISCREPANCIES)
+        discrepancies.append(TxnDiscrepancy(kind, case, detail))
+
+    db = Database(seed=0, profile=False)
+    for sql in case.setup:
+        db.execute(sql)
+    conns = [db.connect() for _ in range(case.sessions)]
+
+    committed: list[str] = []                 # the serial replay log
+    pending: list[list[str]] = [[] for _ in conns]
+    # Per-session savepoint stacks: (name, pending length at creation).
+    savepoints: list[list[tuple[str, int]]] = [[] for _ in conns]
+    in_txn = [False] * case.sessions
+
+    for step in case.steps:
+        profiler.bump(FUZZ_EXECUTIONS)
+        try:
+            conns[step.session].execute(step.sql)
+            outcome = OK
+        except SerializationError:
+            outcome = CONFLICT
+        except SqlError as error:
+            outcome = f"error:{error_class(error)}"
+        except Exception as error:  # noqa: BLE001 — crash class
+            report("crash", f"s{step.session}: {step.sql}\n"
+                            f"  {type(error).__name__}: {error}")
+            continue
+        if outcome != step.expect:
+            report("expect",
+                   f"s{step.session}: {step.sql}\n"
+                   f"  expected {step.expect}, got {outcome}")
+            continue
+        if outcome != OK:
+            continue  # the conflict probe failed as promised: no effect
+        # Mirror the transaction state machine for the replay log.
+        i = step.session
+        sql = step.sql
+        first = sql.split(None, 1)[0].upper()
+        if first == "BEGIN":
+            in_txn[i] = True
+            pending[i] = []
+            savepoints[i] = []
+        elif first == "COMMIT":
+            committed.extend(pending[i])
+            in_txn[i] = False
+            pending[i] = []
+        elif first == "SAVEPOINT":
+            savepoints[i].append((sql.split()[1].lower(), len(pending[i])))
+        elif first == "RELEASE":
+            name = sql.split()[-1].lower()
+            for j in range(len(savepoints[i]) - 1, -1, -1):
+                if savepoints[i][j][0] == name:
+                    del savepoints[i][j:]
+                    break
+        elif first == "ROLLBACK":
+            if sql.upper().startswith("ROLLBACK TO"):
+                name = sql.split()[-1].lower()
+                for j in range(len(savepoints[i]) - 1, -1, -1):
+                    if savepoints[i][j][0] == name:
+                        del pending[i][savepoints[i][j][1]:]
+                        del savepoints[i][j + 1:]
+                        break
+            else:
+                in_txn[i] = False
+                pending[i] = []
+        elif in_txn[i]:
+            pending[i].append(sql)
+        else:
+            committed.append(sql)
+
+    # Forced-autocommit serial replay of the committed statements.
+    replay = Database(seed=0, profile=False)
+    for sql in case.setup:
+        replay.execute(sql)
+    for sql in committed:
+        try:
+            replay.execute(sql)
+        except Exception as error:  # noqa: BLE001
+            report("crash", f"replay: {sql}\n"
+                            f"  {type(error).__name__}: {error}")
+    for table in case.all_tables():
+        profiler.bump(FUZZ_COMPARISONS)
+        engine_rows = _table_rows(db, table)
+        if not rows_equal(_table_rows(replay, table), engine_rows):
+            report("state",
+                   f"table {table}: engine {sorted(engine_rows)} != "
+                   f"replay {sorted(_table_rows(replay, table))}")
+
+    if use_sqlite and not discrepancies:
+        conn = sqlite3.connect(":memory:")
+        try:
+            for sql in case.setup:
+                conn.execute(_sqlite_ddl(sql))
+            for sql in committed:
+                conn.execute(sql)
+            for table in case.all_tables():
+                profiler.bump(FUZZ_SQLITE_CHECKS)
+                lite = conn.execute(f"SELECT k, v FROM {table}").fetchall()
+                if not rows_equal(_table_rows(db, table), lite, lax=True):
+                    report("sqlite",
+                           f"table {table}: engine != sqlite {sorted(lite)}")
+        except sqlite3.Error as error:
+            report("sqlite", f"sqlite rejected replay: {error}")
+        finally:
+            conn.close()
+    return discrepancies
+
+
+def _sqlite_ddl(sql: str) -> str:
+    """The engine's ``int`` column type spelled for SQLite (identical
+    here — the hook exists so future txn-case DDL stays translatable)."""
+    return sql

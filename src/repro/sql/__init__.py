@@ -10,8 +10,8 @@ buffer-page accounting.
 from .engine import Database, Result
 from .errors import (CatalogError, CompileError, ExecutionError,
                      LoopNotSupportedError, NameResolutionError, ParseError,
-                     PlanError, PlsqlError, PlsqlRuntimeError, SettingError,
-                     SqlError, TypeError_)
+                     PlanError, PlsqlError, PlsqlRuntimeError,
+                     SerializationError, SettingError, SqlError, TypeError_)
 from .session import Connection, Cursor, PreparedStatement
 from .values import Row, Value
 
@@ -21,5 +21,5 @@ __all__ = [
     "SqlError", "ParseError", "NameResolutionError", "PlanError",
     "ExecutionError", "TypeError_", "CatalogError", "PlsqlError",
     "PlsqlRuntimeError", "CompileError", "LoopNotSupportedError",
-    "SettingError",
+    "SerializationError", "SettingError",
 ]

@@ -537,7 +537,55 @@ class ExplainStmt:
     statement: "Statement"
 
 
+# ---------------------------------------------------------------------------
+# Transaction control
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BeginStmt:
+    """``BEGIN [WORK | TRANSACTION]`` / ``START TRANSACTION``.
+
+    Opens an explicit transaction block on the executing session; the
+    block's snapshot is captured at its first subsequent statement.
+    A BEGIN inside an open block is a warning-notice no-op.
+    """
+
+
+@dataclass
+class CommitStmt:
+    """``COMMIT [WORK | TRANSACTION]`` / ``END`` — a warning-notice no-op
+    outside a transaction block, like PostgreSQL."""
+
+
+@dataclass
+class RollbackStmt:
+    """``ROLLBACK [WORK | TRANSACTION]`` / ``ABORT``, or
+    ``ROLLBACK [WORK | TRANSACTION] TO [SAVEPOINT] name`` when
+    ``savepoint`` is set (the savepoint itself survives, PostgreSQL
+    style)."""
+
+    savepoint: Optional[str] = None
+
+
+@dataclass
+class SavepointStmt:
+    """``SAVEPOINT name`` — only valid inside a transaction block."""
+
+    name: str
+
+
+@dataclass
+class ReleaseStmt:
+    """``RELEASE [SAVEPOINT] name`` — forgets *name* and every savepoint
+    established after it, without undoing any work."""
+
+    name: str
+
+
 Statement = Union[SelectStmt, CreateTable, CreateType, CreateFunction,
                   CreateIndex, Insert, Update, Delete, DropTable,
                   DropFunction, DropIndex, PrepareStmt, ExecuteStmt,
-                  DeallocateStmt, SetStmt, ShowStmt, ResetStmt, ExplainStmt]
+                  DeallocateStmt, SetStmt, ShowStmt, ResetStmt, ExplainStmt,
+                  BeginStmt, CommitStmt, RollbackStmt, SavepointStmt,
+                  ReleaseStmt]

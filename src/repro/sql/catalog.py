@@ -86,8 +86,12 @@ class FunctionDef:
 class Catalog:
     """All schema objects of one :class:`~repro.sql.engine.Database`."""
 
-    def __init__(self, buffers: BufferManager):
+    def __init__(self, buffers: BufferManager, txnman=None):
         self._buffers = buffers
+        #: Shared transaction manager handed to every HeapTable so all
+        #: heaps of one database stamp versions against the same xid
+        #: space (None: each table runs its own frozen-only manager).
+        self._txnman = txnman
         self.tables: dict[str, HeapTable] = {}
         self.composite_types: dict[str, CompositeType] = {}
         self.functions: dict[str, FunctionDef] = {}
@@ -101,7 +105,8 @@ class Catalog:
             if if_not_exists:
                 return self.tables[key]
             raise CatalogError(f"table {name!r} already exists")
-        table = HeapTable(key, column_names, column_types, self._buffers)
+        table = HeapTable(key, column_names, column_types, self._buffers,
+                          self._txnman)
         self.tables[key] = table
         return table
 

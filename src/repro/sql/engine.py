@@ -44,9 +44,11 @@ from .planner import Planner
 from .profiler import (EXEC_END, EXEC_RUN, EXEC_START, PARSE, PLAN,
                        PLAN_CACHE_EVICTIONS, PLAN_CACHE_HIT, PLAN_CACHE_MISS,
                        PLAN_INSTANTIATIONS, PREPARED_EXECUTIONS,
-                       SETTINGS_ASSIGNMENTS, SWITCH_Q_TO_F, Profiler)
+                       SETTINGS_ASSIGNMENTS, SWITCH_Q_TO_F, TXN_BEGUN,
+                       Profiler)
 from .settings import SettingsRegistry
 from .storage import BufferManager
+from .txn import TransactionManager
 from .types import cast_value
 from .values import Value
 
@@ -132,6 +134,70 @@ class PlanCache:
         return len(self._entries)
 
 
+class _TxnScope:
+    """Context manager giving every statement a transaction to run in.
+
+    Reentrant: the outermost scope on the dispatch path wins, inner ones
+    are no-ops (``_execute_info`` wraps ``_dispatch_ast`` wraps prepared
+    re-dispatch, and all three are public entry points).
+
+    Three cases:
+
+    * the session has an open explicit block — install it as current and
+      open a statement (command-id bump + implicit savepoint mark; on
+      error the statement's effects are undone but the block survives,
+      a deliberately friendlier divergence from PostgreSQL's
+      abort-until-ROLLBACK),
+    * no block — begin a throwaway autocommit transaction, committed on
+      success and rolled back on error,
+    * the statement was BEGIN — it flips the autocommit transaction to
+      explicit and parks it on the session; the scope then leaves it
+      open on exit.
+    """
+
+    __slots__ = ("db", "session", "txn", "nested", "mark")
+
+    def __init__(self, db: "Database", session):
+        self.db = db
+        self.session = session
+
+    def __enter__(self):
+        mgr = self.db.txnman
+        if mgr.current is not None:
+            self.nested = True
+            return self
+        self.nested = False
+        session = self.session
+        txn = session._txn if session is not None else None
+        if txn is None or txn.finished:
+            txn = mgr.begin(session=session)
+        self.txn = txn
+        mgr.current = txn
+        self.mark = txn.begin_statement()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if self.nested:
+            return False
+        self.db.txnman.current = None
+        txn = self.txn
+        if txn.finished:
+            # COMMIT / ROLLBACK ran inside this statement.
+            if self.session is not None and self.session._txn is txn:
+                self.session._txn = None
+            return False
+        if txn.explicit:
+            # Either the session's open block, or this statement was the
+            # BEGIN that opened one: statement-level atomicity only.
+            if exc_type is not None:
+                txn.rollback_to_mark(self.mark)
+        elif exc_type is None:
+            txn.commit()
+        else:
+            txn.rollback()
+        return False
+
+
 class Database:
     """An in-memory relational database with PL/pgSQL support.
 
@@ -150,16 +216,22 @@ class Database:
     [(1,), (2,)]
     """
 
-    def __init__(self, seed: int = 0, profile: bool = True):
+    def __init__(self, seed: int = 0, profile: bool = True,
+                 path: Optional[str] = None):
         import sys
         if sys.getrecursionlimit() < 20000:
             # Directly recursive SQL UDFs nest many Python frames per call;
             # let our own max_udf_depth guard fire before CPython's.
             sys.setrecursionlimit(20000)
         self.buffers = BufferManager()
-        self.catalog = Catalog(self.buffers)
         self.rng = random.Random(seed)
         self.profiler = Profiler(enabled=profile)
+        #: MVCC transaction manager: every statement runs inside one of
+        #: its transactions (a throwaway autocommit one unless the session
+        #: opened an explicit block) and every heap write/read resolves
+        #: through its snapshots.  See repro.sql.txn.
+        self.txnman = TransactionManager(self.profiler, db=self)
+        self.catalog = Catalog(self.buffers, self.txnman)
         self.planner = Planner(self)
         self._plan_cache = PlanCache()
         #: Bumped by clear_plan_cache() (every DDL path): prepared-statement
@@ -194,6 +266,13 @@ class Database:
         self.settings = SettingsRegistry(self)
         self._setting_defaults = self.settings.defaults()
         self._root_session: Optional["Connection"] = None
+        #: Durable mode (``Database(path=...)``): a write-ahead log that
+        #: replays committed transactions on open and fsyncs on commit.
+        self.wal = None
+        if path is not None:
+            from .wal import WalManager
+            self.wal = WalManager(self, path)
+            self.txnman.wal = self.wal
 
     # ------------------------------------------------------------------
     # Public API
@@ -286,26 +365,27 @@ class Database:
         the same cached path as a bare ``SELECT``.
         """
         profiler = self.profiler
-        key = None
-        if self._cache_enabled():
-            key = (sql, self.settings.fingerprint())
-            plan = self._plan_cache.get(key)
-            if plan is not None:
-                profiler.bump(PLAN_CACHE_HIT)
+        with _TxnScope(self, session):
+            key = None
+            if self._cache_enabled():
+                key = (sql, self.settings.fingerprint())
+                plan = self._plan_cache.get(key)
+                if plan is not None:
+                    profiler.bump(PLAN_CACHE_HIT)
+                    return ROWS, self._run_plan(plan, params)
+            with profiler.phase(PARSE):
+                stmt = parse_statement(sql)
+            if isinstance(stmt, A.SelectStmt):
+                profiler.bump(PLAN_CACHE_MISS)
+                with profiler.phase(PLAN):
+                    plan = self.planner.plan_select(stmt)
+                if key is not None:
+                    evicted = self._plan_cache.put(key, plan,
+                                                   self.plan_cache_size)
+                    if evicted:
+                        profiler.bump(PLAN_CACHE_EVICTIONS, evicted)
                 return ROWS, self._run_plan(plan, params)
-        with profiler.phase(PARSE):
-            stmt = parse_statement(sql)
-        if isinstance(stmt, A.SelectStmt):
-            profiler.bump(PLAN_CACHE_MISS)
-            with profiler.phase(PLAN):
-                plan = self.planner.plan_select(stmt)
-            if key is not None:
-                evicted = self._plan_cache.put(key, plan,
-                                               self.plan_cache_size)
-                if evicted:
-                    profiler.bump(PLAN_CACHE_EVICTIONS, evicted)
-            return ROWS, self._run_plan(plan, params)
-        return self._dispatch_ast(stmt, params, session)
+            return self._dispatch_ast(stmt, params, session)
 
     def _execute_script(self, sql: str, session: "Connection") -> list[Result]:
         with self.profiler.phase(PARSE):
@@ -330,7 +410,8 @@ class Database:
         with self.profiler.phase(PARSE):
             stmt = parse_statement(sql)
         if isinstance(stmt, A.Insert):
-            return COUNT, self._do_insert_many(stmt, list(param_sets))
+            with _TxnScope(self, session):
+                return COUNT, self._do_insert_many(stmt, list(param_sets))
         total = 0
         saw_count = False
         for params in param_sets:
@@ -345,6 +426,11 @@ class Database:
     def _dispatch_ast(self, stmt: A.Statement, params: Sequence[Value],
                       session: "Connection") -> tuple[str, Result]:
         """Route one parsed statement by AST type; returns ``(kind, result)``."""
+        with _TxnScope(self, session):
+            return self._dispatch_in_txn(stmt, params, session)
+
+    def _dispatch_in_txn(self, stmt: A.Statement, params: Sequence[Value],
+                         session: "Connection") -> tuple[str, Result]:
         if isinstance(stmt, A.SelectStmt):
             with self.profiler.phase(PLAN):
                 plan = self.planner.plan_select(stmt)
@@ -382,18 +468,92 @@ class Database:
         if isinstance(stmt, A.CreateIndex):
             return UTILITY, self._do_create_index(stmt)
         if isinstance(stmt, A.DropIndex):
-            self.catalog.drop_index(stmt.name, stmt.if_exists)
-            self.clear_plan_cache()
-            return UTILITY, Result([], [])
+            return UTILITY, self._do_drop_index(stmt)
         if isinstance(stmt, A.DropTable):
-            self.catalog.drop_table(stmt.name, stmt.if_exists)
-            self.clear_plan_cache()
-            return UTILITY, Result([], [])
+            return UTILITY, self._do_drop_table(stmt)
         if isinstance(stmt, A.DropFunction):
-            self.catalog.drop_function(stmt.name, stmt.if_exists)
-            self.clear_plan_cache()
-            return UTILITY, Result([], [])
+            return UTILITY, self._do_drop_function(stmt)
+        if isinstance(stmt, A.BeginStmt):
+            return UTILITY, self._do_begin(session)
+        if isinstance(stmt, A.CommitStmt):
+            return UTILITY, self._do_commit(session)
+        if isinstance(stmt, A.RollbackStmt):
+            return UTILITY, self._do_rollback(stmt, session)
+        if isinstance(stmt, A.SavepointStmt):
+            return UTILITY, self._do_savepoint(stmt, session)
+        if isinstance(stmt, A.ReleaseStmt):
+            return UTILITY, self._do_release(stmt, session)
         raise SqlError(f"unsupported statement {type(stmt).__name__}")
+
+    # ------------------------------------------------------------------
+    # Transaction control
+    # ------------------------------------------------------------------
+
+    def _session_txn(self, session: "Connection"):
+        """The session's open explicit transaction, or None."""
+        txn = session._txn
+        if txn is not None and not txn.finished and txn.explicit:
+            return txn
+        return None
+
+    def _do_begin(self, session: "Connection") -> Result:
+        if self._session_txn(session) is not None:
+            self.notices.append(
+                "WARNING: there is already a transaction in progress")
+            return Result([], [])
+        # The dispatch scope already opened an autocommit transaction for
+        # this very statement: promote it instead of opening another.
+        txn = self.txnman.current
+        txn.make_explicit(session)
+        session._txn = txn
+        self.profiler.bump(TXN_BEGUN)
+        return Result([], [])
+
+    def _do_commit(self, session: "Connection") -> Result:
+        txn = self._session_txn(session)
+        if txn is None:
+            self.notices.append(
+                "WARNING: there is no transaction in progress")
+            return Result([], [])
+        txn.commit()
+        session._txn = None
+        return Result([], [])
+
+    def _do_rollback(self, stmt: A.RollbackStmt,
+                     session: "Connection") -> Result:
+        txn = self._session_txn(session)
+        if stmt.savepoint is not None:
+            if txn is None:
+                raise ExecutionError(
+                    "ROLLBACK TO SAVEPOINT can only be used in "
+                    "transaction blocks")
+            txn.rollback_to_savepoint(stmt.savepoint)
+            return Result([], [])
+        if txn is None:
+            self.notices.append(
+                "WARNING: there is no transaction in progress")
+            return Result([], [])
+        txn.rollback()
+        session._txn = None
+        return Result([], [])
+
+    def _do_savepoint(self, stmt: A.SavepointStmt,
+                      session: "Connection") -> Result:
+        txn = self._session_txn(session)
+        if txn is None:
+            raise ExecutionError(
+                "SAVEPOINT can only be used in transaction blocks")
+        txn.define_savepoint(stmt.name)
+        return Result([], [])
+
+    def _do_release(self, stmt: A.ReleaseStmt,
+                    session: "Connection") -> Result:
+        txn = self._session_txn(session)
+        if txn is None:
+            raise ExecutionError(
+                "RELEASE SAVEPOINT can only be used in transaction blocks")
+        txn.release_savepoint(stmt.name)
+        return Result([], [])
 
     def _explain_ast(self, stmt: A.Statement, session: "Connection") -> str:
         if isinstance(stmt, A.ExplainStmt):
@@ -427,9 +587,10 @@ class Database:
         """
         self.profiler.bump(PREPARED_EXECUTIONS)
         stmt = handle.statement
-        if isinstance(stmt, A.SelectStmt):
-            return ROWS, self._run_plan(handle.plan(), args)
-        return self._dispatch_ast(stmt, args, handle.session)
+        with _TxnScope(self, handle.session):
+            if isinstance(stmt, A.SelectStmt):
+                return ROWS, self._run_plan(handle.plan(), args)
+            return self._dispatch_in_txn(stmt, args, handle.session)
 
     def _eval_standalone(self, exprs: Sequence[A.Expr],
                          params: Sequence[Value]) -> list[Value]:
@@ -612,33 +773,61 @@ class Database:
     # DDL / DML
     # ------------------------------------------------------------------
 
-    def _do_create_table(self, stmt: A.CreateTable) -> Result:
-        self.catalog.create_table(stmt.name,
-                                  [c.name for c in stmt.columns],
-                                  [c.type_name for c in stmt.columns],
-                                  stmt.if_not_exists)
+    def _ddl_done(self, undo, wal_op) -> None:
+        """Close out one successful DDL operation: record its undo
+        callable and WAL record on the current transaction (autocommit
+        DDL discards the undo at commit) and invalidate cached plans."""
+        txn = self.txnman.current
+        if txn is not None:
+            txn.record_ddl(undo, wal_op)
         self.clear_plan_cache()
+
+    def _do_create_table(self, stmt: A.CreateTable) -> Result:
+        if stmt.if_not_exists and self.catalog.has_table(stmt.name):
+            self.catalog.create_table(stmt.name,
+                                      [c.name for c in stmt.columns],
+                                      [c.type_name for c in stmt.columns],
+                                      if_not_exists=True)
+            self.clear_plan_cache()
+            return Result([], [])
+        names = [c.name for c in stmt.columns]
+        types = [c.type_name for c in stmt.columns]
+        table = self.catalog.create_table(stmt.name, names, types,
+                                          stmt.if_not_exists)
+        key = table.name
+        self._ddl_done(lambda: self.catalog.tables.pop(key, None),
+                       ["create_table", key, list(table.column_names), types])
         return Result([], [])
 
     def _do_create_index(self, stmt: A.CreateIndex) -> Result:
         from .profiler import SORTED_INDEX_BUILDS
-        created = self.catalog.create_index(
-            stmt.name, stmt.table,
-            [(column.name, column.descending) for column in stmt.columns],
-            stmt.if_not_exists)
-        if created is not None and created[1]:
+        columns = [(column.name, column.descending)
+                   for column in stmt.columns]
+        created = self.catalog.create_index(stmt.name, stmt.table, columns,
+                                            stmt.if_not_exists)
+        if created is None:  # IF NOT EXISTS hit: nothing changed
+            self.clear_plan_cache()
+            return Result([], [])
+        if created[1]:
             self.profiler.bump(SORTED_INDEX_BUILDS)
+        key = created[0].name
         # Plans choose access paths (range scans, sort elimination, merge
         # joins) from the indexes visible at plan time; cached plans must
         # not outlive an index change in either direction.
-        self.clear_plan_cache()
+        self._ddl_done(
+            lambda: self.catalog.drop_index(key, if_exists=True),
+            ["create_index", key, created[0].table,
+             [[name.lower(), bool(desc)] for name, desc in columns]])
         return Result([], [])
 
     def _do_create_type(self, stmt: A.CreateType) -> Result:
-        self.catalog.create_type(stmt.name,
-                                 [f.name for f in stmt.fields],
-                                 [f.type_name for f in stmt.fields])
-        self.clear_plan_cache()
+        field_names = [f.name for f in stmt.fields]
+        field_types = [f.type_name for f in stmt.fields]
+        ctype = self.catalog.create_type(stmt.name, field_names, field_types)
+        key = ctype.name
+        self._ddl_done(
+            lambda: self.catalog.composite_types.pop(key, None),
+            ["create_type", key, list(ctype.field_names), field_types])
         return Result([], [])
 
     def _do_create_function(self, stmt: A.CreateFunction) -> Result:
@@ -650,8 +839,78 @@ class Database:
             param_names=[p.name for p in stmt.params],
             param_types=[p.type_name for p in stmt.params],
             return_type=stmt.return_type, body=stmt.body)
+        key = fdef.name
+        prior = self.catalog.functions.get(key)
         self.catalog.register_function(fdef, replace=stmt.replace)
-        self.clear_plan_cache()
+
+        def undo():
+            if prior is None:
+                self.catalog.functions.pop(key, None)
+            else:
+                self.catalog.functions[key] = prior
+
+        self._ddl_done(undo, ["create_function",
+                              {"name": key, "kind": language,
+                               "params": fdef.param_names,
+                               "types": fdef.param_types,
+                               "ret": fdef.return_type, "body": fdef.body}])
+        return Result([], [])
+
+    def _do_drop_index(self, stmt: A.DropIndex) -> Result:
+        key = stmt.name.lower()
+        index_def = self.catalog.indexes.get(key)
+        self.catalog.drop_index(stmt.name, stmt.if_exists)
+        if index_def is None:  # IF EXISTS on a missing index
+            self.clear_plan_cache()
+            return Result([], [])
+
+        def undo():
+            # Re-declaring rebuilds the structure from the current heap —
+            # a concurrent writer may have changed it since the drop.
+            if key not in self.catalog.indexes \
+                    and self.catalog.has_table(index_def.table):
+                self.catalog.create_index(
+                    key, index_def.table,
+                    list(zip(index_def.column_names, index_def.descending)),
+                    if_not_exists=True)
+
+        self._ddl_done(undo, ["drop_index", key])
+        return Result([], [])
+
+    def _do_drop_table(self, stmt: A.DropTable) -> Result:
+        key = stmt.name.lower()
+        table = self.catalog.tables.get(key)
+        if table is None:  # raises unless IF EXISTS
+            self.catalog.drop_table(stmt.name, stmt.if_exists)
+            self.clear_plan_cache()
+            return Result([], [])
+        removed_defs = {name: index_def
+                        for name, index_def in self.catalog.indexes.items()
+                        if index_def.table == key}
+        self.catalog.drop_table(stmt.name, stmt.if_exists)
+
+        def undo():
+            # The table object still holds its versions and sorted
+            # indexes; restoring it and the dependent IndexDef
+            # registrations recovers the pre-drop state exactly.
+            self.catalog.tables[key] = table
+            self.catalog.indexes.update(removed_defs)
+
+        self._ddl_done(undo, ["drop_table", key])
+        return Result([], [])
+
+    def _do_drop_function(self, stmt: A.DropFunction) -> Result:
+        key = stmt.name.lower()
+        prior = self.catalog.functions.get(key)
+        self.catalog.drop_function(stmt.name, stmt.if_exists)
+        if prior is None:  # IF EXISTS on a missing function
+            self.clear_plan_cache()
+            return Result([], [])
+
+        def undo():
+            self.catalog.functions[key] = prior
+
+        self._ddl_done(undo, ["drop_function", key])
         return Result([], [])
 
     def _insert_target(self, stmt: A.Insert):
@@ -704,8 +963,14 @@ class Database:
         with self.profiler.phase(PLAN):
             plan = self.planner.plan_select(stmt.source)
         if references_table(stmt.source, table.name):
+            txn = self.txnman.current
             total = 0
-            for params in param_sets:
+            for index, params in enumerate(param_sets):
+                if txn is not None and index:
+                    # Each parameter set must see the rows earlier sets
+                    # produced: advance the command id (a row inserted at
+                    # command N is visible from command N+1 on).
+                    txn.begin_statement()
                 source = self._run_plan(plan, params)
                 rows: list[tuple] = []
                 self._materialize_insert_rows(table, positions, source.rows,

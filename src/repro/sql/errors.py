@@ -53,6 +53,17 @@ class SettingError(SqlError):
     (see :mod:`repro.sql.settings`)."""
 
 
+class SerializationError(SqlError):
+    """Write-write conflict under snapshot isolation.
+
+    Raised when a transaction tries to update or delete a row version that
+    another transaction has already written (first-writer-wins): either the
+    other writer is still in progress, or it committed after this
+    transaction's snapshot was taken.  The losing transaction should be
+    rolled back and retried.
+    """
+
+
 class PlsqlError(SqlError):
     """Base class for PL/pgSQL front-end and interpreter errors."""
 
@@ -77,6 +88,7 @@ class LoopNotSupportedError(CompileError):
 #: (KeyError, RecursionError, ...) classifies as ``"crash"`` and is always
 #: reported, even when every strategy crashes alike.
 _ERROR_TAXONOMY: tuple[tuple[type, str], ...] = (
+    (SerializationError, "serialization"),
     (ParseError, "parse"),
     (NameResolutionError, "name-resolution"),
     (PlanError, "plan"),

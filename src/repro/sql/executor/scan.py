@@ -129,7 +129,18 @@ class IndexScanState(PlanState):
             self.rows = _NO_ROWS  # col = NULL matches nothing
             return
         index = self.table.equality_index(self.plan.key_columns)
-        self.rows = index.get(key, _NO_ROWS)
+        versions = index.get(key, _NO_ROWS)
+        if not versions:
+            self.rows = _NO_ROWS
+            return
+        # The index stores row *versions*; keep the ones this statement's
+        # snapshot may see.
+        snapshot = self.table.current_snapshot()
+        if self.table.all_visible(snapshot):
+            self.rows = [version.data for version in versions]
+        else:
+            self.rows = [version.data for version in versions
+                         if snapshot.visible(version)]
 
     def next(self) -> Optional[tuple]:
         if self.pos >= len(self.rows):
@@ -200,7 +211,7 @@ class IndexRangeScanPlan(Plan):
 
 class IndexRangeScanState(PlanState):
     __slots__ = ("plan", "table", "slots", "rows", "pos", "stop", "step",
-                 "_ctx", "_ctx_outer")
+                 "snapshot", "check", "_ctx", "_ctx_outer")
 
     def __init__(self, rt, plan: IndexRangeScanPlan, ictx):
         super().__init__(rt)
@@ -213,6 +224,8 @@ class IndexRangeScanState(PlanState):
         self.pos = 0
         self.stop = 0
         self.step = 1
+        self.snapshot = None
+        self.check = False
         self._ctx = None
         self._ctx_outer = self  # sentinel: never a valid outer
 
@@ -243,6 +256,10 @@ class IndexRangeScanState(PlanState):
                 index.check_probe(0, value)
                 upper = (value, plan.upper[1])
         self.rows = index.rows
+        # Index entries are row versions: when anything in the table may
+        # be invisible to this statement's snapshot, next() filters.
+        self.snapshot = self.table.current_snapshot()
+        self.check = not self.table.all_visible(self.snapshot)
         if empty:
             start = stop = 0
         elif lower is None and upper is None:
@@ -255,11 +272,13 @@ class IndexRangeScanState(PlanState):
             self.pos, self.stop, self.step = start, stop, 1
 
     def next(self) -> Optional[tuple]:
-        if self.pos == self.stop:
-            return None
-        row = self.rows[self.pos]
-        self.pos += self.step
-        return row
+        while self.pos != self.stop:
+            version = self.rows[self.pos]
+            self.pos += self.step
+            if self.check and not self.snapshot.visible(version):
+                continue
+            return version.data
+        return None
 
 
 class ValuesPlan(Plan):

@@ -78,9 +78,51 @@ class SqlParser:
         if ts.at_keyword("explain"):
             ts.advance()
             return A.ExplainStmt(self.parse_statement())
+        if ts.at_keyword("begin", "start"):
+            return self._parse_begin()
+        if ts.at_keyword("commit", "end"):
+            ts.advance()
+            self._accept_txn_noise()
+            return A.CommitStmt()
+        if ts.at_keyword("rollback", "abort"):
+            return self._parse_rollback()
+        if ts.at_keyword("savepoint"):
+            ts.advance()
+            return A.SavepointStmt(ts.expect_ident("savepoint name"))
+        if ts.at_keyword("release"):
+            ts.advance()
+            ts.accept_keyword("savepoint")
+            return A.ReleaseStmt(ts.expect_ident("savepoint name"))
         token = ts.peek()
         raise ParseError(f"unexpected start of statement: {token}",
                          token.line, token.column)
+
+    # ------------------------------------------------------------------
+    # Transaction control
+    # ------------------------------------------------------------------
+
+    def _accept_txn_noise(self) -> None:
+        """Swallow the optional ``WORK`` / ``TRANSACTION`` keyword."""
+        self.ts.accept_keyword("work") or self.ts.accept_keyword("transaction")
+
+    def _parse_begin(self) -> A.BeginStmt:
+        ts = self.ts
+        if ts.accept_keyword("start"):
+            ts.expect_keyword("transaction")
+        else:
+            ts.expect_keyword("begin")
+            self._accept_txn_noise()
+        return A.BeginStmt()
+
+    def _parse_rollback(self) -> A.RollbackStmt:
+        ts = self.ts
+        ts.advance()  # ROLLBACK or ABORT
+        self._accept_txn_noise()
+        savepoint = None
+        if ts.accept_keyword("to"):
+            ts.accept_keyword("savepoint")
+            savepoint = ts.expect_ident("savepoint name")
+        return A.RollbackStmt(savepoint)
 
     def parse_script(self) -> list[A.Statement]:
         """Parse a ``;``-separated sequence of statements."""

@@ -87,6 +87,18 @@ FUZZ_COMPARISONS = "fuzz oracle comparisons"
 FUZZ_SQLITE_CHECKS = "fuzz sqlite cross-checks"
 FUZZ_DISCREPANCIES = "fuzz discrepancies"
 FUZZ_DIALECT_EXPLAINED = "fuzz dialect differences explained"
+#: Transactions & durability: explicit BEGIN blocks opened, write
+#: transactions committed / rolled back (read-only transactions never
+#: take an xid and are not counted), WAL records written (including the
+#: per-commit marker), WAL records replayed on a durable open, and
+#: full-table snapshot-visibility resolutions (cache misses — a warm
+#: visible-rows cache serves repeat scans without re-checking).
+TXN_BEGUN = "transactions begun"
+TXN_COMMITTED = "transactions committed"
+TXN_ROLLED_BACK = "transactions rolled back"
+WAL_RECORDS = "wal records written"
+WAL_REPLAYED = "wal records replayed"
+SNAPSHOT_SCANS = "snapshot visibility scans"
 
 
 class Profiler:

@@ -180,6 +180,9 @@ class Connection:
         self._overlay: dict[str, object] = {}
         self._notices: list[str] = db.notices if root else []
         self._prepared: dict[str, PreparedStatement] = {}
+        #: The open explicit transaction (set by BEGIN, cleared by
+        #: COMMIT/ROLLBACK).  Autocommit statements never land here.
+        self._txn = None
         self._active_depth = 0
         self._saved: dict[str, object] = {}
         self._saved_notices: Optional[list[str]] = None
@@ -199,16 +202,35 @@ class Connection:
         return self._notices
 
     def close(self) -> None:
-        """Deallocate prepared statements and refuse further execution."""
+        """Roll back any open transaction, deallocate prepared statements
+        and refuse further execution."""
+        if self._txn is not None and not self._closed:
+            self.rollback()
         self._prepared.clear()
         self._overlay.clear()
         self._closed = True
 
+    # -- transactions ----------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        """True while an explicit transaction block is open."""
+        return self._txn is not None
+
+    def begin(self) -> None:
+        """Open an explicit transaction block (``BEGIN``)."""
+        self.execute("BEGIN")
+
     def commit(self) -> None:
-        """No-op (the engine has no transactions); PEP-249 shape only."""
+        """Commit the open transaction block; a no-op outside one
+        (PEP-249 allows commit on a fresh connection)."""
+        if self._txn is not None:
+            self.execute("COMMIT")
 
     def rollback(self) -> None:
-        """No-op (the engine has no transactions); PEP-249 shape only."""
+        """Roll back the open transaction block; a no-op outside one."""
+        if self._txn is not None:
+            self.execute("ROLLBACK")
 
     def __enter__(self) -> "Connection":
         return self
@@ -363,11 +385,15 @@ class Connection:
             self.reset_setting(name)
 
     def set_local(self, name: str, raw) -> None:
-        """``SET LOCAL``: scoped to the enclosing script, reverted when it
-        ends.  Outside a script this is a no-op with a notice, matching
-        PostgreSQL's behaviour outside a transaction block."""
+        """``SET LOCAL``: scoped to the enclosing transaction block
+        (reverted at COMMIT or ROLLBACK, PostgreSQL's semantics) or, when
+        no block is open, to the enclosing script.  Outside both this is
+        a no-op with a notice, matching PostgreSQL's behaviour outside a
+        transaction block."""
         self._check_open()
-        if not self._script_stack:
+        txn = self._txn if self._txn is not None and not self._txn.finished \
+            else None
+        if txn is None and not self._script_stack:
             self.db.settings.lookup(name)   # still validate the name
             self._notices.append(
                 "WARNING: SET LOCAL has no effect outside a script")
@@ -379,14 +405,21 @@ class Connection:
             had = setting.name in self._overlay
             restore = ("overlay", setting.name, had,
                        self._overlay.get(setting.name))
-        self._script_stack[-1].append(restore)
+        if txn is not None:
+            txn.local_restores.append(restore)
+        else:
+            self._script_stack[-1].append(restore)
         self.set_setting(name, raw)
 
     def begin_script(self) -> None:
         self._script_stack.append([])
 
     def end_script(self) -> None:
-        records = self._script_stack.pop()
+        self._apply_restore_records(self._script_stack.pop())
+
+    def _apply_restore_records(self, records: list) -> None:
+        """Revert a batch of SET LOCAL restore records (newest first) —
+        shared by script end and transaction finish."""
         for record in reversed(records):
             if record[0] == "global":
                 _, name, old = record

@@ -1,17 +1,39 @@
-"""Heap storage with a PostgreSQL-flavoured buffer-page accounting model.
+"""Version-chained heap storage with buffer-page accounting.
 
-The paper's Table 2 counts *buffer page writes* performed while evaluating
-``parse()`` as a recursive CTE: vanilla ``WITH RECURSIVE`` materialises the
-whole trace of function activations (quadratic bytes for an argument that
-shrinks by one character per step), while ``WITH ITERATE`` keeps only the
-latest activation and writes nothing.
+Two concerns live here.  First, the PostgreSQL-flavoured buffer model the
+paper's Table 2 depends on: every tuple appended to a tracked
+:class:`TupleStore` (still used by the recursive-CTE executor) or written
+into a :class:`HeapTable` is charged ``ROW_OVERHEAD + sum(value sizes)``
+bytes against the :class:`BufferManager`, and a page write is recorded
+whenever the byte count crosses an 8 KiB boundary.  With PostgreSQL's
+24-byte tuple header and 8192-byte pages this lands within ~1 % of the
+paper's absolute counts (see EXPERIMENTS.md).
 
-We reproduce that metric with :class:`BufferManager`: every tuple appended to
-a tracked :class:`TupleStore` is charged ``ROW_OVERHEAD + sum(value sizes)``
-bytes, and a page write is recorded whenever the accumulated byte count
-crosses an 8 KiB page boundary.  With PostgreSQL's 24-byte tuple header and
-8192-byte pages this model lands within ~1 % of the paper's absolute counts
-(see EXPERIMENTS.md).
+Second — since the MVCC refactor — multi-version concurrency: a
+:class:`HeapTable` stores :class:`~repro.sql.txn.RowVersion` objects, never
+mutates one in place, and resolves what a statement sees through the
+:class:`~repro.sql.txn.Snapshot` visibility rules:
+
+* INSERT appends a version stamped ``xmin = writer``;
+* DELETE stamps ``xmax = writer`` on the visible version;
+* UPDATE does both, placing the replacement version immediately after its
+  predecessor so sequential scans keep the seed engine's delivery order;
+* ROLLBACK undoes stamps through the transaction's undo log
+  (:meth:`HeapTable._undo_insert` / :meth:`HeapTable._undo_delete`);
+* dead versions are reclaimed by an opportunistic vacuum once no
+  transaction is in flight.
+
+Writes outside any transaction (workload loaders, WAL replay calling
+``table.insert`` directly) are stamped :data:`~repro.sql.txn.FROZEN_XID`
+and are immediately committed for every snapshot, so the pre-MVCC direct
+API keeps working unchanged.
+
+Sorted and hash indexes hold *versions*, not row tuples: scans filter
+each candidate through the statement snapshot, which is what keeps index
+results consistent with sequential scans while writers are in flight.
+A per-table visible-rows cache short-circuits the common all-committed
+case — it is built and served only under snapshots that provably agree
+with it (fresh ``xmax``, no in-progress writers).
 """
 
 from __future__ import annotations
@@ -20,7 +42,10 @@ from bisect import bisect_left, bisect_right
 from operator import itemgetter
 from typing import Iterable, Optional, Sequence
 
-from .errors import CatalogError, TypeError_
+from .errors import CatalogError, SerializationError, TypeError_
+from .profiler import SNAPSHOT_SCANS
+from .txn import (ABORTED_XID, COMMITTED, FROZEN_XID, RowVersion, Snapshot,
+                  TransactionManager)
 from .values import Value, _Reversed, key_class, sort_key, value_byte_size
 
 PAGE_SIZE = 8192
@@ -59,10 +84,10 @@ def row_byte_size(row: Sequence[Value]) -> int:
 class TupleStore:
     """An append-only tuple container that charges a :class:`BufferManager`.
 
-    Used for base-table heaps and for the recursive-CTE union accumulation.
-    Set ``tracked=False`` for purely in-memory intermediates whose writes the
-    paper's metric would not see (e.g. the one-row working "table" kept by
-    WITH ITERATE).
+    Used for the recursive-CTE union accumulation (the paper's Table 2
+    metric).  Set ``tracked=False`` for purely in-memory intermediates whose
+    writes the paper's metric would not see (e.g. the one-row working
+    "table" kept by WITH ITERATE).
     """
 
     def __init__(self, buffers: BufferManager | None, tracked: bool = True):
@@ -99,16 +124,18 @@ class SortedIndex:
     ``keys`` is a sorted list of per-row key tuples (one
     :func:`~repro.sql.values.sort_key` component per index column, wrapped
     in :class:`~repro.sql.values._Reversed` for DESC columns) and ``rows``
-    the parallel list of heap tuples.  Ascending columns therefore deliver
-    NULLS LAST and descending columns NULLS FIRST — PostgreSQL's defaults —
-    and a reversed scan of the whole structure yields the fully flipped
-    ordering.
+    the parallel list of :class:`~repro.sql.txn.RowVersion` objects.
+    Ascending columns therefore deliver NULLS LAST and descending columns
+    NULLS FIRST — PostgreSQL's defaults — and a reversed scan of the whole
+    structure yields the fully flipped ordering.
 
-    The structure is maintained incrementally by :class:`HeapTable` on
-    every DML path (INSERT/UPDATE/DELETE/TRUNCATE): point maintenance is
-    O(log n) to locate plus O(n) list shift, against O(n log n) for the
-    rebuild that a version-counter invalidation (the hash
-    ``equality_index`` strategy) would pay per probe after DML.
+    The index holds *every* version, including ones deleted by open or
+    committed transactions: scans filter each candidate through their
+    snapshot, and vacuum rebuilds the index when dead versions are
+    reclaimed.  Maintenance stays incremental on the DML paths: point
+    maintenance is O(log n) to locate plus O(n) list shift, against
+    O(n log n) for the rebuild that a version-counter invalidation (the
+    hash ``equality_index`` strategy) would pay per probe after DML.
 
     Per-column comparability classes are tracked so range probes can raise
     the same :class:`~repro.sql.errors.TypeError_` a scan-and-compare
@@ -120,11 +147,11 @@ class SortedIndex:
                  "_classes")
 
     def __init__(self, columns: Sequence[int], descending: Sequence[bool],
-                 rows: Iterable[tuple] = ()):
+                 rows: Iterable[RowVersion] = ()):
         self.columns = tuple(columns)
         self.descending = tuple(bool(d) for d in descending)
         self.keys: list[tuple] = []
-        self.rows: list[tuple] = []
+        self.rows: list[RowVersion] = []
         #: True for CREATE INDEX declarations: a pinned index survives
         #: bulk DML by rebuilding eagerly; an unpinned (lazily
         #: auto-created) one is dropped instead and rebuilt on its next
@@ -136,10 +163,11 @@ class SortedIndex:
 
     # -- keys ------------------------------------------------------------
 
-    def key_of(self, row: Sequence[Value]) -> tuple:
+    def key_of(self, version: RowVersion) -> tuple:
+        data = version.data
         parts = []
         for column, desc in zip(self.columns, self.descending):
-            part = sort_key(row[column])
+            part = sort_key(data[column])
             parts.append(_Reversed(part) if desc else part)
         return tuple(parts)
 
@@ -150,9 +178,10 @@ class SortedIndex:
 
     # -- maintenance -----------------------------------------------------
 
-    def rebuild(self, rows: Iterable[tuple]) -> None:
+    def rebuild(self, rows: Iterable[RowVersion]) -> None:
         # One key_of per row: sort decorated pairs on the key alone (ties
-        # must not fall through to comparing raw rows, which can raise).
+        # must not fall through to comparing version objects, which would
+        # raise).
         pairs = sorted(((self.key_of(row), row) for row in rows),
                        key=itemgetter(0))
         self.keys = [key for key, _ in pairs]
@@ -162,37 +191,34 @@ class SortedIndex:
         for row in self.rows:
             self._track(row, +1)
 
-    def insert(self, row: tuple) -> None:
+    def insert(self, row: RowVersion) -> None:
         key = self.key_of(row)
         pos = bisect_right(self.keys, key)
         self.keys.insert(pos, key)
         self.rows.insert(pos, row)
         self._track(row, +1)
 
-    def remove(self, row: tuple) -> bool:
-        """Remove one entry for *row*; False when it cannot be located
+    def remove(self, row: RowVersion) -> bool:
+        """Remove the entry for *row*; False when it cannot be located
         (the caller then falls back to a full rebuild)."""
         key = self.key_of(row)
         lo = bisect_left(self.keys, key)
         hi = bisect_right(self.keys, key)
-        span = range(lo, hi)
-        for pos in span:  # identity first: DML passes the stored tuples
+        for pos in range(lo, hi):  # versions are unique objects
             if self.rows[pos] is row:
-                return self._delete_at(pos, row)
-        for pos in span:
-            if self.rows[pos] == row:
                 return self._delete_at(pos, row)
         return False
 
-    def _delete_at(self, pos: int, row: tuple) -> bool:
+    def _delete_at(self, pos: int, row: RowVersion) -> bool:
         del self.keys[pos]
         del self.rows[pos]
         self._track(row, -1)
         return True
 
-    def _track(self, row: tuple, delta: int) -> None:
+    def _track(self, row: RowVersion, delta: int) -> None:
+        data = row.data
         for position, column in enumerate(self.columns):
-            value = row[column]
+            value = data[column]
             if value is None:
                 continue  # NULL never participates in comparisons
             kind = key_class(value)
@@ -246,10 +272,12 @@ class SortedIndex:
 
 
 class HeapTable:
-    """A named base table: column schema plus a tuple store."""
+    """A named base table: column schema plus a version-chained heap."""
 
     def __init__(self, name: str, column_names: Sequence[str],
-                 column_types: Sequence[str], buffers: BufferManager | None = None):
+                 column_types: Sequence[str],
+                 buffers: BufferManager | None = None,
+                 txnman: TransactionManager | None = None):
         if len(column_names) != len(column_types):
             raise CatalogError(f"table {name}: column name/type count mismatch")
         if len(set(c.lower() for c in column_names)) != len(column_names):
@@ -257,8 +285,19 @@ class HeapTable:
         self.name = name
         self.column_names = [c.lower() for c in column_names]
         self.column_types = list(column_types)
-        self._store = TupleStore(buffers, tracked=True)
-        self._version = 0
+        self._buffers = buffers
+        # A table created outside any Database gets a private manager:
+        # with no transaction ever current, every write freezes and every
+        # read sees everything — i.e. plain pre-MVCC heap behaviour.
+        self._txnman = txnman if txnman is not None else TransactionManager()
+        self._versions: list[RowVersion] = []
+        self._live = 0            # versions with no deleter (estimate basis)
+        self._dead_possible = 0   # stamped xmax / aborted xmin, pre-vacuum
+        self._rid_counter = 0     # per-table monotonic row id (WAL identity)
+        self._version = 0         # write counter: invalidates caches
+        #: (write counter, snapshot xmax, visible row tuples) — see
+        #: :meth:`visible_rows` for the exact build/serve conditions.
+        self._vis_cache: Optional[tuple[int, int, list]] = None
         self._indexes: dict[tuple[int, ...], tuple[int, dict]] = {}
         #: Sorted indexes, keyed by (column positions, descending flags).
         #: Unlike the version-invalidated hash indexes above, these are
@@ -267,19 +306,65 @@ class HeapTable:
         self._sorted: dict[tuple[tuple[int, ...], tuple[bool, ...]],
                            SortedIndex] = {}
 
+    # -- snapshots & visibility ------------------------------------------
+
+    def current_snapshot(self) -> Snapshot:
+        return self._txnman.current_snapshot()
+
+    def all_visible(self, snapshot: Snapshot) -> bool:
+        """True when *every* version is visible to *snapshot*, letting
+        scans skip the per-row visibility check: no version ever died
+        (or vacuum reclaimed the dead), no writer is in flight, and the
+        snapshot is current enough to see every committed xid."""
+        mgr = self._txnman
+        return (self._dead_possible == 0 and not mgr.active_xids
+                and snapshot.xmax == mgr.next_xid)
+
+    def visible_rows(self, snapshot: Optional[Snapshot] = None) -> list:
+        """Row tuples visible to *snapshot* (default: the current one),
+        in heap order.
+
+        The result is cached, but only under conditions that make the
+        cache sound for every snapshot it is later served to: it is
+        *built* only by a maximally fresh snapshot with no in-progress
+        transaction anywhere (so the builder saw the final status of
+        every stamped xid), and *served* only while no write has touched
+        the table since (write counter), again with no in-progress
+        writers, to snapshots at least as fresh as the builder's.
+        """
+        mgr = self._txnman
+        if snapshot is None:
+            snapshot = mgr.current_snapshot()
+        cache = self._vis_cache
+        if (cache is not None and cache[0] == self._version
+                and not snapshot.active and not mgr.active_xids
+                and snapshot.xmax >= cache[1]):
+            return cache[2]
+        if mgr.profiler is not None:
+            mgr.profiler.bump(SNAPSHOT_SCANS)
+        if self.all_visible(snapshot):
+            rows = [v.data for v in self._versions]
+        else:
+            vis = snapshot.visible
+            rows = [v.data for v in self._versions if vis(v)]
+        if (not snapshot.active and not mgr.active_xids
+                and snapshot.xmax == mgr.next_xid):
+            self._vis_cache = (self._version, snapshot.xmax, rows)
+        return rows
+
     @property
     def rows(self) -> list[tuple[Value, ...]]:
-        return self._store.rows
+        return self.visible_rows()
 
     def estimate_rows(self) -> int:
-        """Planner-facing cardinality estimate: the current heap row count.
+        """Planner-facing cardinality estimate: the live version count.
 
         Like PostgreSQL's ``reltuples`` this is a statistic, not a promise —
         plans are cached by SQL text, so a plan may carry an estimate taken
         before later DML.  Only heuristics (hash-join build-side choice) may
         depend on it.
         """
-        return len(self._store.rows)
+        return self._live
 
     def column_index(self, name: str) -> int:
         try:
@@ -287,12 +372,7 @@ class HeapTable:
         except ValueError:
             raise CatalogError(f"table {self.name} has no column {name!r}")
 
-    def insert(self, row: Sequence[Value]) -> None:
-        row_t = self._prepare_row(row)
-        self._store.append(row_t)
-        self._version += 1
-        for index in self._sorted.values():
-            index.insert(row_t)
+    # -- writes ----------------------------------------------------------
 
     def _prepare_row(self, row: Sequence[Value]) -> tuple:
         if len(row) != len(self.column_names):
@@ -301,24 +381,223 @@ class HeapTable:
                 f"got {len(row)} values")
         return row if type(row) is tuple else tuple(row)
 
-    def equality_index(self, columns: tuple[int, ...]) -> dict:
-        """A hash index ``key tuple -> [rows]`` over *columns*.
+    def _new_version(self, data: tuple, txn) -> RowVersion:
+        """Create and account one version (caller places it and maintains
+        the sorted indexes — insert appends, update splices)."""
+        self._rid_counter += 1
+        if txn is not None:
+            xid = txn.ensure_xid()
+            version = RowVersion(data, xid, txn.cid, self._rid_counter)
+            txn.undo.append(("ins", self, version))
+            txn.tables_touched.add(self)
+            if self._txnman.wal is not None:
+                txn.wal_buf.append(self._txnman.wal.insert_record(
+                    xid, self.name, version.rid, data))
+        else:
+            version = RowVersion(data, FROZEN_XID, 0, self._rid_counter)
+        self._live += 1
+        self._version += 1
+        if self._buffers is not None:
+            self._buffers.charge(row_byte_size(data))
+        return version
 
-        Built lazily and invalidated by any DML (cheap version counter);
-        NULL keys are excluded, matching SQL's ``col = NULL`` semantics.
-        The planner uses these for correlated equality lookups — the moral
-        equivalent of the B-tree probes PostgreSQL would use on the paper's
-        ``policy`` / ``actions`` / ``cells`` tables.
+    def insert(self, row: Sequence[Value]) -> None:
+        row_t = self._prepare_row(row)
+        version = self._new_version(row_t, self._txnman.current)
+        self._versions.append(version)
+        for index in self._sorted.values():
+            index.insert(version)
+
+    def insert_many(self, rows: Iterable[Sequence[Value]]) -> int:
+        """Bulk insert: indexes are maintained once for the whole batch,
+        so a large load takes the O(n log n) rebuild path instead of one
+        O(n) list shift per row (quadratic).  Every row is validated
+        before any is appended — a mid-batch arity error must not leave
+        rows in the heap that the indexes never saw."""
+        staged = [self._prepare_row(row) for row in rows]
+        if not staged:
+            return 0
+        txn = self._txnman.current
+        versions = [self._new_version(row_t, txn) for row_t in staged]
+        self._versions.extend(versions)
+        self._maintain_sorted(added=versions)
+        return len(staged)
+
+    def _stamp_delete(self, version: RowVersion, txn) -> None:
+        """Mark *version* deleted by *txn* (or frozen-deleted), enforcing
+        first-writer-wins: a version some other transaction already
+        stamped — still in progress, or committed after our snapshot
+        (it must have, or the version would not have been visible to
+        us) — raises :class:`SerializationError`."""
+        old_xmax = version.xmax
+        mgr = self._txnman
+        if old_xmax is not None and (txn is None or old_xmax != txn.xid):
+            if old_xmax in mgr.active_xids:
+                raise SerializationError(
+                    f"could not serialize access to table {self.name}: "
+                    f"row updated by concurrent transaction {old_xmax}")
+            if old_xmax == FROZEN_XID or mgr.statuses.get(old_xmax) == COMMITTED:
+                raise SerializationError(
+                    f"could not serialize access to table {self.name}: "
+                    f"row updated by transaction {old_xmax}, which "
+                    f"committed after this snapshot")
+            # Aborted leftover stamp: safe to overwrite.
+        if txn is not None:
+            xid = txn.ensure_xid()
+            txn.undo.append(("del", self, version, old_xmax, version.cmax))
+            version.xmax = xid
+            version.cmax = txn.cid
+            txn.tables_touched.add(self)
+            if mgr.wal is not None:
+                txn.wal_buf.append(mgr.wal.delete_record(
+                    xid, self.name, version.rid))
+        else:
+            version.xmax = FROZEN_XID
+            version.cmax = 0
+        if old_xmax is None:
+            self._live -= 1
+        self._dead_possible += 1
+        self._version += 1
+
+    def delete_where(self, predicate) -> int:
+        """Delete rows for which *predicate(row)* is truthy; return count."""
+        mgr = self._txnman
+        txn = mgr.current
+        snapshot = mgr.current_snapshot()
+        if self.all_visible(snapshot):
+            targets = [v for v in self._versions if predicate(v.data)]
+        else:
+            vis = snapshot.visible
+            targets = [v for v in self._versions
+                       if vis(v) and predicate(v.data)]
+        for version in targets:
+            self._stamp_delete(version, txn)
+        if txn is None and targets:
+            self.maybe_vacuum()
+        return len(targets)
+
+    def update_where(self, predicate, updater) -> int:
+        """Replace rows matching *predicate* with *updater(row)*.
+
+        MVCC-style: the old version gets ``xmax`` stamped, the new one is
+        spliced in right after it so sequential scans deliver the updated
+        row where the original sat (the seed engine's in-place order).
+        All replacement tuples are computed before anything is stamped,
+        so an updater error leaves the heap untouched.
+        """
+        mgr = self._txnman
+        txn = mgr.current
+        snapshot = mgr.current_snapshot()
+        vis = None if self.all_visible(snapshot) else snapshot.visible
+        targets = []
+        for version in self._versions:
+            if (vis is None or vis(version)) and predicate(version.data):
+                targets.append(
+                    (version, self._prepare_row(tuple(updater(version.data)))))
+        if not targets:
+            return 0
+        for version, _ in targets:
+            self._stamp_delete(version, txn)
+        replacement = {id(version): data for version, data in targets}
+        out = []
+        added = []
+        for version in self._versions:
+            out.append(version)
+            data = replacement.get(id(version))
+            if data is not None:
+                new_version = self._new_version(data, txn)
+                out.append(new_version)
+                added.append(new_version)
+        self._versions = out
+        self._maintain_sorted(added=added)
+        if txn is None:
+            self.maybe_vacuum()
+        return len(targets)
+
+    def truncate(self) -> None:
+        """Drop every version unconditionally (non-transactional reset)."""
+        self._versions = []
+        self._live = 0
+        self._dead_possible = 0
+        self._version += 1
+        self._vis_cache = None
+        for index in self._sorted.values():
+            index.rebuild(())
+
+    # -- undo (called by Transaction.rollback_to_mark) -------------------
+
+    def _undo_insert(self, version: RowVersion) -> None:
+        version.xmin = ABORTED_XID
+        if version.xmax is None:
+            self._live -= 1
+        self._dead_possible += 1
+        self._version += 1
+
+    def _undo_delete(self, version: RowVersion, old_xmax, old_cmax) -> None:
+        version.xmax = old_xmax
+        version.cmax = old_cmax
+        if old_xmax is None:
+            self._live += 1
+        self._dead_possible -= 1
+        self._version += 1
+
+    # -- vacuum ----------------------------------------------------------
+
+    def maybe_vacuum(self) -> None:
+        """Reclaim dead versions when enough have piled up.
+
+        Only safe — and only attempted — while no transaction is open
+        anywhere (no snapshot can be holding a view that still sees a
+        dead version).  The threshold keeps insert-only workloads from
+        paying any vacuum cost and amortises the O(n) sweep.
+        """
+        mgr = self._txnman
+        if mgr.open_count or mgr.active_xids:
+            return
+        if self._dead_possible <= max(16, len(self._versions) // 8):
+            return
+        status = mgr.statuses
+        live = []
+        for version in self._versions:
+            xmin = version.xmin
+            if xmin != FROZEN_XID and status.get(xmin) != COMMITTED:
+                continue  # inserter aborted: dead to everyone
+            xmax = version.xmax
+            if xmax is not None and (xmax == FROZEN_XID
+                                     or status.get(xmax) == COMMITTED):
+                continue  # deleter committed: dead to every new snapshot
+            live.append(version)
+        if len(live) != len(self._versions):
+            self._versions = live
+            self._version += 1
+            for index in self._sorted.values():
+                index.rebuild(live)
+        self._dead_possible = sum(1 for v in live if v.xmax is not None)
+        self._live = len(live) - self._dead_possible
+
+    # -- hash indexes ----------------------------------------------------
+
+    def equality_index(self, columns: tuple[int, ...]) -> dict:
+        """A hash index ``key tuple -> [versions]`` over *columns*.
+
+        Built lazily over every version (snapshot-independent — scans
+        filter hits through their own snapshot) and invalidated by any
+        write (cheap counter); NULL keys are excluded, matching SQL's
+        ``col = NULL`` semantics.  The planner uses these for correlated
+        equality lookups — the moral equivalent of the B-tree probes
+        PostgreSQL would use on the paper's ``policy`` / ``actions`` /
+        ``cells`` tables.
         """
         cached = self._indexes.get(columns)
         if cached is not None and cached[0] == self._version:
             return cached[1]
         index: dict = {}
-        for row in self._store.rows:
-            key = tuple(row[c] for c in columns)
+        for version in self._versions:
+            data = version.data
+            key = tuple(data[c] for c in columns)
             if any(v is None for v in key):
                 continue
-            index.setdefault(key, []).append(row)
+            index.setdefault(key, []).append(version)
         self._indexes[columns] = (self._version, index)
         return index
 
@@ -335,7 +614,7 @@ class HeapTable:
         key = self._sorted_key(columns, descending)
         index = self._sorted.get(key)
         if index is None:
-            index = SortedIndex(key[0], key[1], self._store.rows)
+            index = SortedIndex(key[0], key[1], self._versions)
             self._sorted[key] = index
         return index
 
@@ -377,64 +656,17 @@ class HeapTable:
             return cols, (False,) * len(cols)
         return cols, tuple(bool(d) for d in descending)
 
-    def insert_many(self, rows: Iterable[Sequence[Value]]) -> int:
-        """Bulk insert: indexes are maintained once for the whole batch,
-        so a large load takes the O(n log n) rebuild path instead of one
-        O(n) list shift per row (quadratic).  Every row is validated
-        before any is appended — a mid-batch arity error must not leave
-        rows in the heap that the indexes never saw."""
-        staged = [self._prepare_row(row) for row in rows]
-        for row_t in staged:
-            self._store.append(row_t)
-        if staged:
-            self._version += 1
-            self._maintain_sorted(added=staged)
-        return len(staged)
-
-    def delete_where(self, predicate) -> int:
-        """Delete rows for which *predicate(row)* is truthy; return count."""
-        kept, dropped = [], []
-        for row in self._store.rows:
-            (dropped if predicate(row) else kept).append(row)
-        self._store.rows = kept
-        self._version += 1
-        self._maintain_sorted(removed=dropped)
-        return len(dropped)
-
-    def update_where(self, predicate, updater) -> int:
-        """Replace rows matching *predicate* with *updater(row)*."""
-        out = []
-        removed, added = [], []
-        for row in self._store.rows:
-            if predicate(row):
-                new_row = tuple(updater(row))
-                removed.append(row)
-                added.append(new_row)
-                out.append(new_row)
-            else:
-                out.append(row)
-        self._store.rows = out
-        self._version += 1
-        self._maintain_sorted(removed=removed, added=added)
-        return len(added)
-
-    def truncate(self) -> None:
-        self._store.rows = []
-        self._version += 1
-        for index in self._sorted.values():
-            index.rebuild(())
-
-    def _maintain_sorted(self, removed: Sequence[tuple] = (),
-                         added: Sequence[tuple] = ()) -> None:
-        """Apply a DML delta to every sorted index; an entry that cannot be
-        located degrades to a full rebuild rather than going stale.
+    def _maintain_sorted(self, removed: Sequence[RowVersion] = (),
+                         added: Sequence[RowVersion] = ()) -> None:
+        """Apply a write delta to every sorted index; an entry that cannot
+        be located degrades to a full rebuild rather than going stale.
 
         Each point remove/insert pays an O(n) list shift, so a bulk
-        UPDATE/DELETE applied row by row would be quadratic; when the
-        delta is a sizeable fraction of the index, one O(n log n) rebuild
-        is cheaper and is used instead — and an *unpinned* (lazily
-        auto-created) index is simply dropped at that point, deferring
-        the rebuild to its next probe, which may never come.
+        change applied row by row would be quadratic; when the delta is a
+        sizeable fraction of the index, one O(n log n) rebuild is cheaper
+        and is used instead — and an *unpinned* (lazily auto-created)
+        index is simply dropped at that point, deferring the rebuild to
+        its next probe, which may never come.
         """
         if not self._sorted or not (removed or added):
             return
@@ -443,7 +675,7 @@ class HeapTable:
         for key, index in self._sorted.items():
             if delta > max(16, (len(index) + len(added)) // 8):
                 if index.pinned:
-                    index.rebuild(self._store.rows)
+                    index.rebuild(self._versions)
                 else:
                     dropped.append(key)
                 continue
@@ -452,9 +684,9 @@ class HeapTable:
                 for row in added:
                     index.insert(row)
             else:
-                index.rebuild(self._store.rows)
+                index.rebuild(self._versions)
         for key in dropped:
             del self._sorted[key]
 
     def __len__(self) -> int:
-        return len(self._store.rows)
+        return self._live

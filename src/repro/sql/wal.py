@@ -1,0 +1,236 @@
+"""Write-ahead log: fsync-on-commit durability and replay-on-open.
+
+``Database(path=...)`` attaches a :class:`WalManager`.  Transactions
+buffer their log records in memory (``Transaction.wal_buf``); nothing
+touches the file until COMMIT, which appends every buffered record plus
+a commit marker, flushes, and ``fsync``\\ s — so the log never contains a
+half-transaction followed by its commit marker, and rollback is free
+(the buffer is simply discarded).
+
+Record format: one JSON object per line (a torn tail line from a crash
+mid-write is detected and ignored during replay).
+
+* ``{"t": "ins", "x": xid, "tb": table, "r": rid, "v": [values...]}``
+* ``{"t": "del", "x": xid, "tb": table, "r": rid}``
+* ``{"t": "ddl", "x": xid, "op": [opname, ...args]}``
+* ``{"t": "commit", "x": xid}``
+
+Row identity across the log is the per-table monotonic ``rid`` stamped
+on every :class:`~repro.sql.txn.RowVersion` — an UPDATE logs a ``del``
+of the old rid plus an ``ins`` of the new one.  Values are JSON with two
+tagged containers (``{"R": [...]}`` for composite
+:class:`~repro.sql.values.Row` values, ``{"L": [...]}`` for arrays);
+everything else (NULL, bool, int, float including NaN/Infinity, text)
+round-trips natively.
+
+Replay (:meth:`WalManager.replay`) makes two passes: collect the xids
+with a commit marker, then apply only their records in log order.  DDL
+operations are applied structurally against the catalog; ``ins``/``del``
+records fold into per-table ``rid -> row`` maps that bulk-load at the
+end, so sorted and hash indexes — including ones a replayed
+``CREATE INDEX`` declared — are rebuilt consistently by the ordinary
+``insert_many`` maintenance path.
+
+There is no checkpointing: the log grows for the lifetime of the file
+and every open replays it from the start.  Compiled functions registered
+programmatically (``register_compiled_function``) are not logged — they
+live in Python objects, not SQL text — and must be re-registered after a
+durable reopen.
+
+Fault injection for the crash-recovery suite: set ``REPRO_WAL_FAULT`` to
+``crash:N`` (hard-exit immediately after appending the N-th record) or
+``torn:N`` (write half of the N-th record with no newline, then
+hard-exit) before opening the database.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from .profiler import WAL_RECORDS, WAL_REPLAYED
+from .values import Row, Value
+
+
+def encode_value(value: Value):
+    """JSON-encodable form of one SQL value (tags Row and array)."""
+    if isinstance(value, Row):
+        encoded = {"R": [encode_value(v) for v in value.values]}
+        if value.names is not None:
+            encoded["n"] = list(value.names)
+        if value.type_name is not None:
+            encoded["tn"] = value.type_name
+        return encoded
+    if isinstance(value, list):
+        return {"L": [encode_value(v) for v in value]}
+    return value
+
+
+def decode_value(value) -> Value:
+    if isinstance(value, dict):
+        if "R" in value:
+            return Row(tuple(decode_value(v) for v in value["R"]),
+                       names=value.get("n"), type_name=value.get("tn"))
+        return [decode_value(v) for v in value["L"]]
+    return value
+
+
+def _dumps(record: dict) -> str:
+    return json.dumps(record, separators=(",", ":"))
+
+
+class WalManager:
+    """Owns one log file: append path for commits, replay path for open."""
+
+    def __init__(self, db, path: str):
+        self.db = db
+        self.path = path
+        self.profiler = db.profiler
+        self._fault_kind: Optional[str] = None
+        self._fault_at = 0
+        fault = os.environ.get("REPRO_WAL_FAULT")
+        if fault:
+            kind, _, at = fault.partition(":")
+            if kind in ("crash", "torn") and at.isdigit():
+                self._fault_kind, self._fault_at = kind, int(at)
+        self._appended = 0
+        if os.path.exists(path):
+            replayed = self.replay()
+            if replayed and self.profiler is not None:
+                self.profiler.bump(WAL_REPLAYED, replayed)
+        self._fh = open(path, "a", encoding="utf-8")
+
+    # -- record builders (storage calls these while buffering) ---------
+
+    def insert_record(self, xid: int, table: str, rid: int, data) -> dict:
+        return {"t": "ins", "x": xid, "tb": table, "r": rid,
+                "v": [encode_value(v) for v in data]}
+
+    def delete_record(self, xid: int, table: str, rid: int) -> dict:
+        return {"t": "del", "x": xid, "tb": table, "r": rid}
+
+    # -- commit path ---------------------------------------------------
+
+    def commit(self, xid: int, records: list) -> None:
+        """Append *records* plus the commit marker; flush and fsync.
+
+        The commit marker is what makes the transaction durable: replay
+        ignores any records whose xid never reached its marker.
+        """
+        for record in records:
+            self._append(_dumps(record))
+        self._append(_dumps({"t": "commit", "x": xid}))
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        if self.profiler is not None:
+            self.profiler.bump(WAL_RECORDS, len(records) + 1)
+
+    def _append(self, line: str) -> None:
+        n = self._appended + 1
+        if self._fault_kind == "torn" and n == self._fault_at:
+            self._fh.write(line[:max(1, len(line) // 2)])
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            os._exit(1)
+        self._fh.write(line + "\n")
+        self._appended = n
+        if self._fault_kind == "crash" and n == self._fault_at:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            os._exit(1)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    # -- replay --------------------------------------------------------
+
+    def replay(self) -> int:
+        """Rebuild the database state from the log; returns the number of
+        records applied (committed-transaction records plus markers)."""
+        records = []
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                if not line.endswith("\n"):
+                    break  # torn tail: the crash interrupted this write
+                try:
+                    records.append(json.loads(line))
+                except ValueError:
+                    break  # corrupt tail line; nothing after it counts
+        committed = {r["x"] for r in records if r.get("t") == "commit"}
+        heaps: dict[str, dict[int, tuple]] = {}
+        # Highest rid mentioned per table — committed or not: versions
+        # appended after this reopen must not reuse a logged rid, or a
+        # later replay would fold two generations' rows together.
+        max_rid: dict[str, int] = {}
+        for record in records:
+            if record.get("t") in ("ins", "del"):
+                name, rid = record["tb"], record["r"]
+                if rid > max_rid.get(name, 0):
+                    max_rid[name] = rid
+        applied = 0
+        for record in records:
+            kind = record.get("t")
+            if kind == "commit":
+                if record["x"] in committed:
+                    applied += 1
+                continue
+            if record.get("x") not in committed:
+                continue
+            applied += 1
+            if kind == "ins":
+                heaps.setdefault(record["tb"], {})[record["r"]] = tuple(
+                    decode_value(v) for v in record["v"])
+            elif kind == "del":
+                heaps.get(record["tb"], {}).pop(record["r"], None)
+            elif kind == "ddl":
+                self._apply_ddl(record["op"], heaps)
+        for name, rows in heaps.items():
+            table = self.db.catalog.tables.get(name)
+            if table is not None and rows:
+                # No transaction is current: the bulk load freezes, and
+                # insert_many maintains every index the DDL pass declared.
+                table.insert_many(list(rows.values()))
+                # Restore each row's logged rid (insert_many assigned
+                # fresh ones): delete records appended after this reopen
+                # must keep naming the rows they actually touched.
+                for version, rid in zip(table._versions[-len(rows):],
+                                        rows.keys()):
+                    version.rid = rid
+        for name, top in max_rid.items():
+            table = self.db.catalog.tables.get(name)
+            if table is not None and table._rid_counter < top:
+                table._rid_counter = top
+        self.db.clear_plan_cache()
+        return applied
+
+    def _apply_ddl(self, op: list, heaps: dict) -> None:
+        catalog = self.db.catalog
+        kind = op[0]
+        if kind == "create_table":
+            catalog.create_table(op[1], op[2], op[3], if_not_exists=True)
+        elif kind == "drop_table":
+            catalog.drop_table(op[1], if_exists=True)
+            heaps.pop(op[1], None)
+        elif kind == "create_index":
+            catalog.create_index(op[1], op[2],
+                                 [(c, bool(d)) for c, d in op[3]],
+                                 if_not_exists=True)
+        elif kind == "drop_index":
+            catalog.drop_index(op[1], if_exists=True)
+        elif kind == "create_type":
+            if catalog.get_type(op[1]) is None:
+                catalog.create_type(op[1], op[2], op[3])
+        elif kind == "create_function":
+            from .catalog import FunctionDef
+            spec = op[1]
+            catalog.register_function(
+                FunctionDef(name=spec["name"], kind=spec["kind"],
+                            param_names=list(spec["params"]),
+                            param_types=list(spec["types"]),
+                            return_type=spec["ret"], body=spec["body"]),
+                replace=True)
+        elif kind == "drop_function":
+            catalog.drop_function(op[1], if_exists=True)

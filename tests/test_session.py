@@ -680,3 +680,71 @@ class TestShowThroughCursor:
         cur.execute("EXPLAIN SELECT a FROM t WHERE a = 1")
         assert cur.description[0][0] == "QUERY PLAN"
         assert any("Select" in row[0] for row in cur.fetchall())
+
+
+# ---------------------------------------------------------------------------
+# Rolled-back DDL must not poison prepared-statement stamps (PR regression)
+# ---------------------------------------------------------------------------
+
+
+class TestRolledBackDdlStamps:
+    def test_rolled_back_create_index_does_not_force_replan(self, db):
+        """DDL inside an aborted block restores the DDL-generation stamp:
+        a handle planned before BEGIN must keep serving its plan (no
+        spurious replan) and keep returning correct results."""
+        conn = db.connect()
+        ps = conn.prepare("SELECT b FROM t WHERE a = $1 ORDER BY b")
+        before = ps.execute([3]).rows
+        db.profiler.reset()
+        conn.execute("BEGIN")
+        conn.execute("CREATE INDEX t_b ON t(b)")
+        conn.execute("ROLLBACK")
+        assert ps.execute([3]).rows == before
+        assert db.profiler.counts[PREPARED_REPLANS] == 0
+        assert "t_b" not in db.catalog.indexes
+
+    def test_rolled_back_drop_table_restores_serving_handle(self, db):
+        """DROP TABLE undone by ROLLBACK re-registers the table object and
+        its dependent declared indexes; a pre-BEGIN handle neither crashes
+        nor serves stale structures."""
+        db.execute("CREATE INDEX t_b ON t(b)")
+        conn = db.connect()
+        ps = conn.prepare("SELECT b FROM t WHERE b >= 95 ORDER BY b")
+        before = ps.execute([]).rows
+        db.profiler.reset()
+        conn.execute("BEGIN")
+        conn.execute("DROP TABLE t")
+        conn.execute("ROLLBACK")
+        assert "t_b" in db.catalog.indexes
+        assert ps.execute([]).rows == before
+        assert db.profiler.counts[PREPARED_REPLANS] == 0
+
+    def test_committed_ddl_still_invalidates(self, db):
+        """The restore path must not over-reach: DDL that commits moves
+        the generation and stale handles replan as before."""
+        conn = db.connect()
+        ps = conn.prepare("SELECT b FROM t WHERE a = $1 ORDER BY b")
+        ps.execute([3])
+        db.profiler.reset()
+        conn.execute("BEGIN")
+        conn.execute("CREATE INDEX t_a ON t(a)")
+        conn.execute("COMMIT")
+        ps.execute([3])
+        assert db.profiler.counts[PREPARED_REPLANS] == 1
+
+    def test_foreign_ddl_during_block_keeps_fresh_generation(self, db):
+        """Another session's committed DDL interleaved with our aborted
+        block must win: the stamp is NOT restored over it."""
+        conn = db.connect()
+        other = db.connect()
+        ps = conn.prepare("SELECT count(b) FROM t")
+        ps.execute([])
+        conn.execute("BEGIN")
+        conn.execute("CREATE INDEX t_b ON t(b)")
+        other.execute("CREATE INDEX o_a ON t(a)")   # autocommits
+        conn.execute("ROLLBACK")
+        assert "o_a" in db.catalog.indexes
+        assert "t_b" not in db.catalog.indexes
+        db.profiler.reset()
+        ps.execute([])
+        assert db.profiler.counts[PREPARED_REPLANS] == 1
