@@ -1,0 +1,144 @@
+"""Wire-server throughput: concurrent clients vs one client.
+
+What the async server buys is **multiplexing**: while one session's
+query grinds on an executor thread (or its client is between requests),
+the event loop keeps accepting frames from every other session.  The
+honest way to measure that on a small machine is the classic
+pgbench-style **closed loop with think time**: each client issues a
+prepared point query, waits ``THINK_MS``, and repeats.  A single client
+is then bounded by ``1 / (round_trip + think)`` regardless of server
+capacity, while N clients overlap their think times and approach
+``N / (round_trip + think)`` until server capacity binds — the headroom
+concurrency is supposed to claim.
+
+(A zero-think closed loop is reported as context but not gated: with
+client and server processes sharing this container's single core, its
+saturated throughput equals the one-client number by construction and
+measures CPU price, not multiplexing.)
+
+Acceptance gate: >= 3x aggregate throughput at 8 clients vs 1 client on
+the prepared point-query workload.  ``BENCH_server.json`` records the
+curve for the cross-PR perf trajectory.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+
+from repro.bench.harness import render_table
+from repro.server import ServerThread, connect
+from repro.sql import Database
+
+ROWS = 1_000
+THINK_MS = 2.0
+OPS_PER_CLIENT = 150
+CLIENT_COUNTS = (1, 2, 4, 8)
+ZERO_THINK_OPS = 400
+
+PREPARE = "PREPARE pt(int) AS SELECT v FROM pts WHERE id = $1"
+
+
+def _build_db() -> Database:
+    db = Database(profile=False)
+    db.execute("CREATE TABLE pts(id int, v int)")
+    db.catalog.get_table("pts").insert_many(
+        [(i, (i * 7919) % ROWS) for i in range(ROWS)])
+    db.execute("CREATE INDEX pts_id ON pts(id)")
+    return db
+
+
+def _client_worker(host, port, n_ops, think_s, barrier, out_queue):
+    """One closed-loop client process (module-level: fork target)."""
+    client = connect(host, port)
+    client.query(PREPARE)
+    client.query_rows("EXECUTE pt(0)")  # warm the session's fast path
+    barrier.wait()
+    started = time.perf_counter()
+    for i in range(n_ops):
+        key = i % ROWS
+        rows = client.query_rows(f"EXECUTE pt({key})")
+        assert rows == [(str((key * 7919) % ROWS),)], rows
+        if think_s:
+            time.sleep(think_s)
+    out_queue.put(time.perf_counter() - started)
+    client.close()
+
+
+def _closed_loop_throughput(address, n_clients: int, n_ops: int,
+                            think_s: float) -> float:
+    """Aggregate ops/s for *n_clients* concurrent closed-loop clients.
+
+    Fork-based processes so the clients cost the server real syscalls
+    and scheduling, not just GIL turns inside one interpreter.
+    """
+    ctx = multiprocessing.get_context("fork")
+    barrier = ctx.Barrier(n_clients)
+    out_queue = ctx.Queue()
+    host, port = address
+    processes = [
+        ctx.Process(target=_client_worker,
+                    args=(host, port, n_ops, think_s, barrier, out_queue))
+        for _ in range(n_clients)]
+    for proc in processes:
+        proc.start()
+    elapsed = [out_queue.get(timeout=120) for _ in processes]
+    for proc in processes:
+        proc.join(timeout=30)
+        assert proc.exitcode == 0, f"client exited {proc.exitcode}"
+    # The run isn't over until the slowest client finishes its ops.
+    return n_clients * n_ops / max(elapsed)
+
+
+def test_concurrent_clients_multiply_throughput(write_artifact, write_json):
+    db = _build_db()
+    with ServerThread(db, workers=4) as address:
+        # Context number: single-connection zero-think round-trip cost.
+        client = connect(*address)
+        client.query(PREPARE)
+        client.query_rows("EXECUTE pt(0)")
+        started = time.perf_counter()
+        for i in range(ZERO_THINK_OPS):
+            client.query_rows(f"EXECUTE pt({i % ROWS})")
+        zero_think_s = time.perf_counter() - started
+        client.close()
+
+        think_s = THINK_MS / 1000.0
+        throughput = {
+            n: _closed_loop_throughput(address, n, OPS_PER_CLIENT, think_s)
+            for n in CLIENT_COUNTS}
+
+    ratio = throughput[8] / throughput[1]
+    round_trip_us = zero_think_s * 1e6 / ZERO_THINK_OPS
+
+    rows_table = [
+        ["zero-think round trip (1 client)", f"{round_trip_us:.0f} us/op"],
+    ] + [
+        [f"{n} client{'s' if n > 1 else ''} @ {THINK_MS:g} ms think",
+         f"{throughput[n]:.0f} ops/s"]
+        for n in CLIENT_COUNTS
+    ] + [
+        ["8-client / 1-client ratio", f"{ratio:.2f}x"],
+    ]
+    write_artifact(
+        "bench_server.txt",
+        render_table(["configuration", "throughput"], rows_table,
+                     title=f"Wire server: closed-loop prepared point "
+                           f"queries, {OPS_PER_CLIENT} ops/client over "
+                           f"{ROWS} rows"))
+    write_json("server", {
+        "rows": ROWS,
+        "ops_per_client": OPS_PER_CLIENT,
+        "think_ms": THINK_MS,
+        "zero_think_us_per_op": round_trip_us,
+        "throughput_ops_per_s": {str(n): throughput[n]
+                                 for n in CLIENT_COUNTS},
+        "speedups": {
+            "concurrency_8_vs_1": ratio,
+        },
+    })
+
+    # Acceptance gate: concurrency must actually multiply throughput.
+    assert ratio >= 3, (
+        f"8-client throughput only {ratio:.2f}x the 1-client baseline "
+        f"({throughput[1]:.0f} -> {throughput[8]:.0f} ops/s)")

@@ -24,6 +24,7 @@ from .oracle import DifferentialChecker, check_txn_case
 from .querygen import generate_case
 from .reduce import Reducer, emit_pytest
 from .txngen import generate_txn_case
+from .wire import check_wire_case
 
 
 def run_fuzz(seed: int = 0, cases: int = 200, *, use_sqlite: bool = True,
@@ -155,6 +156,60 @@ def run_txn_fuzz(seed: int = 0, cases: int = 500, *,
     return failures
 
 
+def run_wire_fuzz(seed: int = 0, cases: int = 200, *,
+                  time_budget: float | None = None, max_failures: int = 5,
+                  start_index: int = 0, verbose: bool = True,
+                  profiler: Profiler | None = None) -> int:
+    """Run the wire-path fuzz axis; returns the number of failing cases.
+
+    Each case from the regular query corpus runs on twin databases — one
+    embedded, one behind a live :class:`repro.server.ServerThread` — and
+    rows (text-rendered) and error taxonomy labels (via SQLSTATEs) must
+    agree (see :func:`repro.fuzz.wire.check_wire_case`).
+    """
+    profiler = profiler if profiler is not None else Profiler()
+    started = time.monotonic()
+    failures = 0
+    for index in range(start_index, start_index + cases):
+        if time_budget is not None and \
+                time.monotonic() - started > time_budget:
+            if verbose:
+                print(f"time budget ({time_budget:.0f}s) reached after "
+                      f"{index - start_index} cases")
+            break
+        case = generate_case(seed, index)
+        try:
+            discrepancies = check_wire_case(case, profiler=profiler)
+        except Exception as error:  # noqa: BLE001 — harness must survive
+            failures += 1
+            print(f"wire case {index} (seed {case.seed}): harness error "
+                  f"{type(error).__name__}: {error}", file=sys.stderr)
+            if failures >= max_failures:
+                break
+            continue
+        if not discrepancies:
+            continue
+        failures += 1
+        print(f"wire case {index} (seed {case.seed}): "
+              f"{len(discrepancies)} discrepancies", file=sys.stderr)
+        print(discrepancies[0].describe(), file=sys.stderr)
+        print("  script:\n" + case.script(), file=sys.stderr)
+        if failures >= max_failures:
+            if verbose:
+                print(f"stopping after {max_failures} failing cases",
+                      file=sys.stderr)
+            break
+    if verbose:
+        counts = profiler.counts
+        print(f"wire seed {seed}: {counts[FUZZ_CASES]} cases, "
+              f"{counts[FUZZ_EXECUTIONS]} executions, "
+              f"{counts[FUZZ_COMPARISONS]} comparisons, "
+              f"{counts[FUZZ_DISCREPANCIES]} discrepancies, "
+              f"{failures} failing cases "
+              f"in {time.monotonic() - started:.1f}s")
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.fuzz",
@@ -185,6 +240,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="fuzz the multi-session transaction axis "
                              "(interleaved BEGIN/COMMIT/ROLLBACK/SAVEPOINT "
                              "scripts against the committed-state oracle)")
+    parser.add_argument("--server", action="store_true",
+                        help="fuzz the wire path: run each case through a "
+                             "live TCP server and compare rows and error "
+                             "SQLSTATEs against the embedded engine")
     args = parser.parse_args(argv)
     if args.dump:
         for index in range(args.index, args.index + args.cases):
@@ -193,6 +252,12 @@ def main(argv: list[str] | None = None) -> int:
             else:
                 sys.stdout.write(generate_case(args.seed, index).script())
         return 0
+    if args.server:
+        failures = run_wire_fuzz(
+            seed=args.seed, cases=args.cases,
+            time_budget=args.time_budget, max_failures=args.max_failures,
+            start_index=args.index)
+        return 1 if failures else 0
     if args.txn:
         failures = run_txn_fuzz(
             seed=args.seed, cases=args.cases,

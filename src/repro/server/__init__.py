@@ -1,0 +1,28 @@
+"""Wire-protocol service surface: asyncio server + blocking client.
+
+The engine stops being embedded-only here: :class:`SqlServer` speaks a
+PostgreSQL simple-protocol subset and maps each TCP connection onto a
+:meth:`repro.sql.engine.Database.connect` session.  See
+ARCHITECTURE.md's "Service surface" section for the protocol table, the
+threading model and the telemetry glossary.
+
+Run one from the command line::
+
+    PYTHONPATH=src python -m repro.server --port 5433 --demo
+
+or host one in-process (tests, benchmarks, notebooks)::
+
+    from repro.sql import Database
+    from repro.server import ServerThread, connect
+
+    db = Database()
+    with ServerThread(db) as (host, port):
+        with connect(host, port) as client:
+            client.query("SELECT 1 AS one")
+"""
+
+from .client import ServerError, StatementResult, WireClient, connect
+from .server import ServerThread, SqlServer
+
+__all__ = ["SqlServer", "ServerThread", "WireClient", "connect",
+           "ServerError", "StatementResult"]

@@ -1,0 +1,70 @@
+"""``python -m repro.server`` — serve a database over TCP.
+
+Examples::
+
+    PYTHONPATH=src python -m repro.server --port 5433 --demo
+    PYTHONPATH=src python -m repro.server --path db.wal --port 5433
+
+``--demo`` loads a small in-memory schema so a stock psql can poke
+around immediately; ``--path`` opens (or creates) a durable
+WAL-backed database instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+
+from ..sql import Database
+from .server import SqlServer
+
+_DEMO_SCHEMA = """
+CREATE TABLE items(id int, name text, price float);
+INSERT INTO items VALUES (1, 'anvil', 19.5), (2, 'rope', 3.25),
+                         (3, 'dynamite', 7.0);
+CREATE INDEX items_id ON items(id);
+"""
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.server",
+        description="Serve a repro database over the PostgreSQL "
+                    "simple protocol.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=5433)
+    parser.add_argument("--path", default=None,
+                        help="WAL path for a durable database "
+                             "(default: in-memory)")
+    parser.add_argument("--demo", action="store_true",
+                        help="load a small demo schema at startup")
+    parser.add_argument("--max-connections", type=int, default=64)
+    parser.add_argument("--idle-timeout", type=float, default=None,
+                        help="reap sessions idle for this many seconds")
+    parser.add_argument("--workers", type=int, default=8,
+                        help="query executor thread count")
+    parser.add_argument("--slow-query-ms", type=float, default=250.0,
+                        help="slow-query log threshold in milliseconds")
+    args = parser.parse_args(argv)
+
+    db = Database(path=args.path) if args.path else Database()
+    if args.demo:
+        for statement in _DEMO_SCHEMA.strip().split(";"):
+            if statement.strip():
+                db.execute(statement)
+
+    server = SqlServer(db, host=args.host, port=args.port,
+                       max_connections=args.max_connections,
+                       idle_timeout=args.idle_timeout,
+                       workers=args.workers,
+                       slow_query_seconds=args.slow_query_ms / 1000.0)
+    print(f"repro server listening on {args.host}:{args.port} "
+          f"(max_connections={args.max_connections})")
+    try:
+        asyncio.run(server.serve_forever())
+    except KeyboardInterrupt:
+        print("shutting down")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,185 @@
+"""Blocking simple-protocol client.
+
+A minimal synchronous client over :mod:`repro.server.protocol` — enough
+for the README quickstart, the throughput benchmark and the fuzzer's
+wire oracle.  (The conformance suite deliberately does *not* use this:
+``tests/wireclient.py`` frames its own bytes so protocol bugs can't
+cancel out between client and server.)
+
+>>> # doctest-style usage lives in README.md; the skeleton is:
+>>> # with ServerThread(db) as (host, port):
+>>> #     with connect(host, port) as client:
+>>> #         client.query("SELECT 1")[0].rows
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+from typing import Optional
+
+from . import protocol as p
+
+
+class ServerError(Exception):
+    """An ErrorResponse from the server (after draining to ReadyForQuery).
+
+    ``sqlstate`` carries the five-character code; ``severity`` is ERROR
+    for statement failures and FATAL for connection-level rejections
+    (admission, idle timeout, protocol violations).
+    """
+
+    def __init__(self, sqlstate: str, message: str, severity: str = "ERROR"):
+        super().__init__(f"{severity} {sqlstate}: {message}")
+        self.sqlstate = sqlstate
+        self.message = message
+        self.severity = severity
+
+
+class StatementResult:
+    """One statement's outcome inside a Query round trip."""
+
+    __slots__ = ("columns", "rows", "command_tag")
+
+    def __init__(self, columns, rows, command_tag):
+        self.columns = columns      # None for row-less statements
+        self.rows = rows            # list of tuples of Optional[str]
+        self.command_tag = command_tag
+
+    def scalar(self) -> Optional[str]:
+        assert self.rows is not None and len(self.rows) == 1 \
+            and len(self.rows[0]) == 1
+        return self.rows[0][0]
+
+    def __repr__(self):
+        n = "-" if self.rows is None else len(self.rows)
+        return f"StatementResult({self.command_tag!r}, {n} rows)"
+
+
+class WireClient:
+    """One blocking connection; use :func:`connect` to open and greet."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.parameters: dict[str, str] = {}
+        self.notices: list[str] = []
+        self.transaction_status = b"I"
+        self._closed = False
+
+    # -- low-level I/O ---------------------------------------------------
+
+    def _recv_exact(self, n: int) -> bytes:
+        chunks = []
+        while n:
+            chunk = self.sock.recv(n)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            chunks.append(chunk)
+            n -= len(chunk)
+        return b"".join(chunks)
+
+    def _read_message(self) -> tuple[bytes, bytes]:
+        header = self._recv_exact(5)
+        (length,) = struct.unpack("!I", header[1:])
+        return header[:1], self._recv_exact(length - 4)
+
+    # -- session ---------------------------------------------------------
+
+    def startup(self, user: str = "repro",
+                database: str = "repro") -> "WireClient":
+        """Send StartupMessage and consume the greeting up to
+        ReadyForQuery; raises :class:`ServerError` on rejection."""
+        self.sock.sendall(p.encode_startup(
+            {"user": user, "database": database}))
+        while True:
+            type_byte, payload = self._read_message()
+            if type_byte == b"R":
+                (flavour,) = struct.unpack_from("!I", payload, 0)
+                if flavour != 0:
+                    raise ServerError("08P01",
+                                      f"unsupported auth flavour {flavour}")
+            elif type_byte == b"S":
+                key, value = payload.split(b"\x00")[:2]
+                self.parameters[key.decode()] = value.decode()
+            elif type_byte == b"K":
+                pass  # BackendKeyData: no live cancel to aim it at
+            elif type_byte == b"E":
+                fields = p.parse_diagnostic_fields(payload)
+                raise ServerError(fields.get("C", "XX000"),
+                                  fields.get("M", "startup rejected"),
+                                  fields.get("S", "FATAL"))
+            elif type_byte == b"Z":
+                self.transaction_status = payload
+                return self
+            # anything else in the greeting is ignored
+
+    def query(self, sql: str) -> list[StatementResult]:
+        """Run one Query round trip; returns per-statement results.
+
+        Raises :class:`ServerError` for the *first* ErrorResponse — after
+        draining the stream to ReadyForQuery, so the connection stays
+        usable and ``transaction_status`` is current.  NoticeResponses
+        accumulate on :attr:`notices`.
+        """
+        self.sock.sendall(p.encode_query(sql))
+        results: list[StatementResult] = []
+        error: Optional[ServerError] = None
+        columns = None
+        rows: list[tuple] = []
+        while True:
+            type_byte, payload = self._read_message()
+            if type_byte == b"T":
+                columns = p.parse_row_description(payload)
+                rows = []
+            elif type_byte == b"D":
+                rows.append(tuple(p.parse_data_row(payload)))
+            elif type_byte == b"C":
+                tag = p.parse_command_complete(payload)
+                results.append(StatementResult(columns, rows if columns
+                                               is not None else None, tag))
+                columns, rows = None, []
+            elif type_byte == b"I":
+                results.append(StatementResult(None, None, ""))
+            elif type_byte == b"E":
+                fields = p.parse_diagnostic_fields(payload)
+                if error is None:
+                    error = ServerError(fields.get("C", "XX000"),
+                                        fields.get("M", ""),
+                                        fields.get("S", "ERROR"))
+            elif type_byte == b"N":
+                fields = p.parse_diagnostic_fields(payload)
+                self.notices.append(fields.get("M", ""))
+            elif type_byte == b"Z":
+                self.transaction_status = payload
+                if error is not None:
+                    raise error
+                return results
+
+    def query_rows(self, sql: str) -> list[tuple]:
+        """Rows of the last row-producing statement in *sql*."""
+        for result in reversed(self.query(sql)):
+            if result.rows is not None:
+                return result.rows
+        raise ServerError("XX000", "statement returned no result set")
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self.sock.sendall(p.encode_terminate())
+            except OSError:
+                pass
+            self.sock.close()
+
+    def __enter__(self) -> "WireClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def connect(host: str, port: int, user: str = "repro",
+            database: str = "repro", timeout: float = 30.0) -> WireClient:
+    """Open a connection and complete the startup handshake."""
+    return WireClient(host, port, timeout=timeout).startup(user, database)

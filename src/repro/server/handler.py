@@ -1,0 +1,233 @@
+"""Query handling for one wire session — runs on executor worker threads.
+
+:func:`run_script` is the bridge between a ``Query`` message and the
+engine: it parses the SQL into statements, dispatches each one in the
+connection's session (under the database execution lock, via session
+activation), and renders the outcome into wire-neutral output records the
+async layer encodes without touching the engine:
+
+* ``("rows", columns, rendered_rows, tag)`` — RowDescription + DataRows
+  + CommandComplete,
+* ``("complete", tag)`` — CommandComplete only (DML / DDL / session),
+* ``("notice", message)`` — one NoticeResponse,
+* ``("error", sqlstate, message)`` — ErrorResponse (ends the script),
+* ``("empty",)`` — EmptyQueryResponse.
+
+Multi-statement ``Query`` scripts run sequentially and stop at the first
+error.  (PostgreSQL additionally wraps such scripts in an implicit
+transaction; this engine's autocommit statements commit individually — a
+documented divergence, see ARCHITECTURE.md.)
+
+Everything here happens off the event loop; the per-statement engine work
+serializes on ``Database._exec_lock`` while parse and row rendering run
+outside it, so concurrent sessions overlap their non-engine CPU.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from typing import TYPE_CHECKING, Optional
+
+from ..sql import ast as A
+from ..sql.engine import COUNT, ROWS
+from ..sql.errors import SqlError
+from ..sql.parser import parse_script
+from ..sql.profiler import (SERVER_ERRORS, SERVER_QUERIES,
+                            SERVER_SLOW_QUERIES)
+from .protocol import render_row, sqlstate_for
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sql.session import Connection
+    from .telemetry import Telemetry
+
+#: AST class -> fixed CommandComplete tag.  Row-producing and
+#: count-producing statements are tagged dynamically below.
+_FIXED_TAGS = {
+    A.BeginStmt: "BEGIN",
+    A.CommitStmt: "COMMIT",
+    A.RollbackStmt: "ROLLBACK",
+    A.SavepointStmt: "SAVEPOINT",
+    A.ReleaseStmt: "RELEASE",
+    A.CreateTable: "CREATE TABLE",
+    A.CreateType: "CREATE TYPE",
+    A.CreateFunction: "CREATE FUNCTION",
+    A.CreateIndex: "CREATE INDEX",
+    A.DropTable: "DROP TABLE",
+    A.DropIndex: "DROP INDEX",
+    A.DropFunction: "DROP FUNCTION",
+    A.SetStmt: "SET",
+    A.ResetStmt: "RESET",
+    A.ShowStmt: "SHOW",
+    A.ExplainStmt: "EXPLAIN",
+    A.PrepareStmt: "PREPARE",
+    A.DeallocateStmt: "DEALLOCATE",
+}
+
+_DML_TAGS = {
+    A.Insert: "INSERT 0 {n}",
+    A.Update: "UPDATE {n}",
+    A.Delete: "DELETE {n}",
+}
+
+
+def command_tag(stmt, kind: str, result, session: "Connection") -> str:
+    """The CommandComplete tag for one executed statement."""
+    template = _DML_TAGS.get(type(stmt))
+    if template is not None:
+        n = result.rows[0][0] if result.rows else 0
+        return template.format(n=n)
+    tag = _FIXED_TAGS.get(type(stmt))
+    if tag is not None:
+        return tag
+    if isinstance(stmt, A.ExecuteStmt):
+        # Tag by the prepared statement's underlying kind, like PostgreSQL.
+        try:
+            underlying = session.lookup_prepared(stmt.name).statement
+        except SqlError:
+            underlying = None
+        template = _DML_TAGS.get(type(underlying))
+        if template is not None and kind == COUNT:
+            n = result.rows[0][0] if result.rows else 0
+            return template.format(n=n)
+    if kind == ROWS:
+        return f"SELECT {len(result.rows)}"
+    if kind == COUNT:
+        n = result.rows[0][0] if result.rows else 0
+        return f"SELECT {n}"
+    return "OK"
+
+
+#: Fast path for the hottest wire shape: ``EXECUTE name(literal, ...)``.
+#: The simple protocol has no Parse/Bind/Execute phase, so a prepared
+#: point query arrives as text on every round trip — a full parse of
+#: that text costs more than running the (handle-cached) plan.  A
+#: micro-parser recognizes the shape and binds literal arguments
+#: directly; anything it doesn't recognize falls back to the real
+#: parser, so this is an optimization, never a semantic fork.
+_FAST_EXECUTE = re.compile(
+    r"^\s*EXECUTE\s+([A-Za-z_][A-Za-z_0-9]*)\s*\(([^()';]*)\)\s*;?\s*$",
+    re.IGNORECASE)
+_INT = re.compile(r"^-?\d+$")
+_FLOAT = re.compile(r"^-?\d+\.\d+$")
+
+_KEYWORD_ARGS = {"null": None, "true": True, "false": False}
+
+
+def _parse_literal_args(argstr: str) -> Optional[list]:
+    """Literal EXECUTE arguments, or None when beyond the micro-parser."""
+    args: list = []
+    argstr = argstr.strip()
+    if not argstr:
+        return args
+    for token in argstr.split(","):
+        token = token.strip()
+        if _INT.match(token):
+            args.append(int(token))
+        elif _FLOAT.match(token):
+            args.append(float(token))
+        elif token.lower() in _KEYWORD_ARGS:
+            args.append(_KEYWORD_ARGS[token.lower()])
+        else:
+            return None
+    return args
+
+
+def _fast_execute(session: "Connection", sql: str):
+    """Run ``EXECUTE name(literals)`` without the full parser; returns
+    ``(outputs, error)`` or None when the shape doesn't match (the
+    caller falls back)."""
+    match = _FAST_EXECUTE.match(sql)
+    if match is None:
+        return None
+    args = _parse_literal_args(match.group(2))
+    if args is None:
+        return None
+    notices_before = len(session.notices)
+    try:
+        with session._activated():
+            handle = session.lookup_prepared(match.group(1))
+            kind, result = handle.dispatch(tuple(args))
+    except Exception as exc:
+        outputs = [("notice", m)
+                   for m in session.notices[notices_before:]]
+        message = str(exc) if isinstance(exc, SqlError) \
+            else f"{type(exc).__name__}: {exc}"
+        outputs.append(("error", sqlstate_for(exc), message))
+        return outputs, exc
+    template = _DML_TAGS.get(type(handle.statement))
+    if template is not None and kind == COUNT:
+        tag = template.format(
+            n=result.rows[0][0] if result.rows else 0)
+    else:
+        tag = f"SELECT {len(result.rows)}"
+    outputs = [("notice", m) for m in session.notices[notices_before:]]
+    if kind == ROWS:
+        outputs.append(("rows", list(result.columns),
+                        [render_row(row) for row in result.rows], tag))
+    else:
+        outputs.append(("complete", tag))
+    return outputs, None
+
+
+def run_script(session: "Connection", sql: str,
+               telemetry: "Telemetry") -> list[tuple]:
+    """Execute one ``Query`` payload; returns wire-neutral output records."""
+    db = session.db
+    profiler = db.profiler
+    started = time.perf_counter()
+    fast = _fast_execute(session, sql)
+    if fast is not None:
+        outputs, error = fast
+        return _account(profiler, telemetry, sql, started, error, outputs)
+    outputs = []
+    error = None
+    try:
+        statements = parse_script(sql)
+    except SqlError as exc:
+        error = exc
+        outputs.append(("error", sqlstate_for(exc), str(exc)))
+        statements = []
+    except Exception as exc:  # lexer crash — still answer the client
+        error = exc
+        outputs.append(("error", sqlstate_for(exc),
+                        f"{type(exc).__name__}: {exc}"))
+        statements = []
+    if error is None and not statements:
+        outputs.append(("empty",))
+    for stmt in statements:
+        notices_before = len(session.notices)
+        try:
+            with session._activated():
+                # Only the dispatch holds the engine lock; tag
+                # derivation and row rendering happen outside it so
+                # concurrent sessions overlap their non-engine CPU.
+                kind, result = db._dispatch_ast(stmt, (), session)
+        except Exception as exc:
+            error = exc
+            for message in session.notices[notices_before:]:
+                outputs.append(("notice", message))
+            message = str(exc) if isinstance(exc, SqlError) \
+                else f"{type(exc).__name__}: {exc}"
+            outputs.append(("error", sqlstate_for(exc), message))
+            break
+        tag = command_tag(stmt, kind, result, session)
+        for message in session.notices[notices_before:]:
+            outputs.append(("notice", message))
+        if kind == ROWS:
+            outputs.append(("rows", list(result.columns),
+                            [render_row(row) for row in result.rows], tag))
+        else:
+            outputs.append(("complete", tag))
+    return _account(profiler, telemetry, sql, started, error, outputs)
+
+
+def _account(profiler, telemetry: "Telemetry", sql: str, started: float,
+             error, outputs: list[tuple]) -> list[tuple]:
+    elapsed = time.perf_counter() - started
+    profiler.bump(SERVER_QUERIES)
+    if error is not None:
+        profiler.bump(SERVER_ERRORS)
+    if telemetry.record(sql, elapsed, error=error):
+        profiler.bump(SERVER_SLOW_QUERIES)
+    return outputs

@@ -1,0 +1,64 @@
+"""Connection admission and the bounded query executor.
+
+Two resources are bounded independently:
+
+* **Connections** — :class:`ConnectionPool` counts live sessions and
+  rejects the ``max_connections + 1``-th startup with SQLSTATE 53300
+  before a session is ever created, so an over-limit client costs one
+  refused handshake, not an engine session.  Slots release on disconnect
+  *and* on idle-timeout reaping (the server wraps its per-connection
+  reads in a timeout; see :mod:`repro.server.server`).
+
+* **Worker threads** — a single bounded
+  :class:`~concurrent.futures.ThreadPoolExecutor` runs every query for
+  every connection, so one slow query occupies one worker, never the
+  event loop.  Per-session serialization needs no machinery on top: the
+  simple query protocol is strictly request/response, and the handler
+  coroutine awaits each query's future before reading the next frame, so
+  a session can never have two queries in flight.
+
+The counter lock makes the pool safe to inspect from worker threads (the
+``STATS`` endpoint renders ``pool.active``) while accept/release happen
+on the event loop.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+#: Default worker-thread bound.  Engine statements serialize on the
+#: database execution lock anyway; workers beyond the lock mostly overlap
+#: parse/render CPU and I/O, so a small pool suffices.
+DEFAULT_WORKERS = 8
+
+
+class ConnectionPool:
+    """Counting admission gate for live wire sessions."""
+
+    def __init__(self, max_connections: int = 64):
+        self.max_connections = max_connections
+        self._lock = threading.Lock()
+        self._active = 0
+
+    @property
+    def active(self) -> int:
+        return self._active
+
+    def try_acquire(self) -> bool:
+        """Claim a slot; False when the server is full."""
+        with self._lock:
+            if self._active >= self.max_connections:
+                return False
+            self._active += 1
+            return True
+
+    def release(self) -> None:
+        with self._lock:
+            if self._active > 0:
+                self._active -= 1
+
+
+def make_executor(workers: int = DEFAULT_WORKERS) -> ThreadPoolExecutor:
+    return ThreadPoolExecutor(max_workers=workers,
+                              thread_name_prefix="repro-server")

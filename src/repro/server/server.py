@@ -1,0 +1,434 @@
+"""The asyncio wire server and its thread-hosted test/bench harness.
+
+:class:`SqlServer` accepts PostgreSQL simple-protocol connections and
+maps each one onto a :meth:`repro.sql.engine.Database.connect` session,
+so SET/SHOW, PREPARE/EXECUTE and BEGIN/COMMIT/ROLLBACK behave over the
+wire exactly as they do embedded.
+
+Threading model (see ARCHITECTURE.md "Service surface")
+-------------------------------------------------------
+
+The event loop runs a callback-based :class:`asyncio.Protocol` — it only
+frames bytes and schedules work; it never executes SQL:
+
+* every ``Query`` runs on the bounded thread-pool executor
+  (:func:`repro.server.pool.make_executor`) — a slow query occupies a
+  worker thread, never the loop;
+* **per-session serialization** is guaranteed structurally: a connection
+  submits at most one query at a time, and frames a pipelining client
+  sends early queue on the connection and chain onto the same worker
+  path strictly in order;
+* responses are written back through a **coalescing outbox**: workers
+  append encoded replies and wake the loop once per batch
+  (``call_soon_threadsafe``), so under concurrency the loop drains many
+  responses per wakeup instead of paying one cross-thread wake per query
+  — a lone client still gets woken immediately;
+* admission control (:class:`repro.server.pool.ConnectionPool`) rejects
+  over-limit startups with SQLSTATE 53300 *before* creating a session;
+* idle sessions are reaped after ``idle_timeout`` seconds with SQLSTATE
+  57P05 (a connection with a query in flight is never idle);
+* ``STATS`` / ``METRICS`` (as the entire query text) is answered on the
+  event loop from :class:`repro.server.telemetry.Telemetry` without
+  touching the engine — the observability plane stays responsive while
+  workers grind.
+
+:class:`ServerThread` hosts a server on a daemon thread with its own
+event loop — the shape tests, benchmarks, the fuzzer's wire oracle and
+the README quickstart all use::
+
+    with ServerThread(db) as address:
+        client = connect(*address)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import socket
+import struct
+import threading
+from typing import Optional
+
+from ..sql.profiler import (SERVER_CONNECTIONS, SERVER_IDLE_CLOSED,
+                            SERVER_REJECTED)
+from . import protocol as p
+from .handler import run_script
+from .pool import DEFAULT_WORKERS, ConnectionPool, make_executor
+from .telemetry import Telemetry
+
+#: ParameterStatus pairs sent after AuthenticationOk (what psql expects
+#: to learn about the backend).
+_STARTUP_PARAMETERS = (
+    ("server_version", "14.0 (repro)"),
+    ("client_encoding", "UTF8"),
+    ("integer_datetimes", "on"),
+)
+
+_STARTUP, _READY, _CLOSED = 0, 1, 2
+
+
+class _WireConnection(asyncio.Protocol):
+    """One client connection: a framing state machine on the event loop.
+
+    Bytes are parsed incrementally (``data_received`` may deliver any
+    split); complete ``Query`` frames are chained through the worker
+    pool one at a time per connection.  All state mutated by both the
+    loop and workers (the pending-frame queue and the in-flight flag)
+    sits behind ``_chain_lock``.
+    """
+
+    def __init__(self, server: "SqlServer"):
+        self.server = server
+        self.loop = server._loop
+        self.buf = bytearray()
+        self.phase = _STARTUP
+        self.transport = None
+        self.session = None
+        self.admitted = False
+        self._chain_lock = threading.Lock()
+        self._pending: collections.deque = collections.deque()
+        self._inflight = False
+        self._idle_handle = None
+        self._last_activity = 0.0
+
+    # -- lifecycle (loop thread) ----------------------------------------
+
+    def connection_made(self, transport) -> None:
+        self.transport = transport
+        sock = transport.get_extra_info("socket")
+        if sock is not None:
+            # Request/response round trips die without NODELAY: Nagle
+            # would hold each small frame for the previous ACK.
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.server._connections.add(self)
+
+    def connection_lost(self, exc) -> None:
+        self.phase = _CLOSED
+        if self._idle_handle is not None:
+            self._idle_handle.cancel()
+            self._idle_handle = None
+        self.server._connections.discard(self)
+        if self.session is not None:
+            # Engine-level cleanup (rolls back an open transaction,
+            # drops prepared statements) — on a worker, off the loop.
+            session, self.session = self.session, None
+            try:
+                self.server.executor.submit(session.close)
+            except RuntimeError:  # executor already shut down
+                session.close()
+        if self.admitted:
+            self.admitted = False
+            self.server.pool.release()
+
+    def _fatal(self, sqlstate: str, message: str) -> None:
+        """Send a FATAL ErrorResponse and close (loop thread only)."""
+        if self.phase != _CLOSED and not self.transport.is_closing():
+            self.transport.write(p.error_response(sqlstate, message,
+                                                  severity="FATAL"))
+            self.transport.close()
+        self.phase = _CLOSED
+
+    # -- framing (loop thread) ------------------------------------------
+
+    def data_received(self, data: bytes) -> None:
+        self._last_activity = self.loop.time()
+        self.buf += data
+        try:
+            if self.phase == _STARTUP:
+                self._drain_startup_frames()
+            if self.phase == _READY:
+                self._drain_typed_frames()
+        except p.ProtocolError as exc:
+            self._fatal(p.PROTOCOL_VIOLATION, str(exc))
+
+    def _drain_startup_frames(self) -> None:
+        while self.phase == _STARTUP and len(self.buf) >= 4:
+            (length,) = struct.unpack_from("!I", self.buf, 0)
+            if length < 8 or length > p.MAX_MESSAGE_LENGTH:
+                raise p.ProtocolError(f"bad startup message length {length}")
+            if len(self.buf) < length:
+                return
+            payload = bytes(self.buf[4:length])
+            del self.buf[:length]
+            (code,) = struct.unpack_from("!I", payload, 0)
+            if code == p.SSL_REQUEST_CODE:
+                self.transport.write(b"N")
+            elif code == p.CANCEL_REQUEST_CODE:
+                # No live cancellation; accepted and dropped.
+                self.transport.close()
+                self.phase = _CLOSED
+            elif code == p.PROTOCOL_VERSION:
+                p.parse_startup_payload(payload[4:])  # validated, unused
+                self._complete_startup()
+            else:
+                raise p.ProtocolError(f"unsupported protocol code {code}")
+
+    def _complete_startup(self) -> None:
+        server = self.server
+        if not server.pool.try_acquire():
+            server.db.profiler.bump(SERVER_REJECTED)
+            self._fatal(p.TOO_MANY_CONNECTIONS,
+                        f"too many connections (max_connections="
+                        f"{server.pool.max_connections})")
+            return
+        self.admitted = True
+        self.session = server.db.connect()
+        server.db.profiler.bump(SERVER_CONNECTIONS)
+        server._next_backend_pid += 1
+        greeting = [p.authentication_ok()]
+        for name, value in _STARTUP_PARAMETERS:
+            greeting.append(p.parameter_status(name, value))
+        greeting.append(p.backend_key_data(server._next_backend_pid, 0))
+        greeting.append(p.ready_for_query(p.STATUS_IDLE))
+        self.transport.write(b"".join(greeting))
+        self.phase = _READY
+        if server.idle_timeout is not None:
+            self._idle_handle = self.loop.call_later(
+                server.idle_timeout, self._idle_check)
+
+    def _drain_typed_frames(self) -> None:
+        while self.phase == _READY and len(self.buf) >= 5:
+            type_byte = bytes(self.buf[:1])
+            (length,) = struct.unpack_from("!I", self.buf, 1)
+            if length < 4 or length > p.MAX_MESSAGE_LENGTH:
+                raise p.ProtocolError(
+                    f"bad message length {length} for type {type_byte!r}")
+            total = 1 + length
+            if len(self.buf) < total:
+                return
+            payload = bytes(self.buf[5:total])
+            del self.buf[:total]
+            if type_byte == b"X":  # Terminate
+                self.transport.close()
+                self.phase = _CLOSED
+            elif type_byte == b"Q":
+                sql = payload.rstrip(b"\x00").decode("utf-8", "replace")
+                if sql.strip().rstrip(";").upper() in ("STATS", "METRICS"):
+                    self.transport.write(self.server._stats_response(self))
+                else:
+                    self._enqueue_query(sql)
+            else:
+                raise p.ProtocolError(
+                    f"unexpected message type {type_byte!r} "
+                    f"(only simple Query is supported)")
+
+    # -- query chaining (loop thread enqueues, workers execute) ----------
+
+    def _enqueue_query(self, sql: str) -> None:
+        with self._chain_lock:
+            if self._inflight:
+                self._pending.append(sql)
+                return
+            self._inflight = True
+        self.server.executor.submit(self._run_chain, sql)
+
+    def _run_chain(self, sql: str) -> None:
+        """Worker thread: run queries for this connection until its
+        pending queue is empty — per-session serialization by
+        construction."""
+        server = self.server
+        while True:
+            try:
+                response = server._execute(self, sql)
+            except Exception as exc:  # never kill the worker
+                response = (p.error_response(
+                    "XX000", f"{type(exc).__name__}: {exc}")
+                    + p.ready_for_query(p.STATUS_IDLE))
+            server._send(self, response)
+            with self._chain_lock:
+                if self._pending:
+                    sql = self._pending.popleft()
+                else:
+                    self._inflight = False
+                    return
+
+    # -- idle reaping (loop thread) --------------------------------------
+
+    def _idle_check(self) -> None:
+        if self.phase != _READY:
+            return
+        timeout = self.server.idle_timeout
+        with self._chain_lock:
+            busy = self._inflight or bool(self._pending)
+        idle_for = self.loop.time() - self._last_activity
+        if not busy and idle_for >= timeout:
+            self.server.db.profiler.bump(SERVER_IDLE_CLOSED)
+            self._fatal(p.IDLE_TIMEOUT,
+                        f"terminating connection: idle for more than "
+                        f"{timeout}s")
+            return
+        delay = timeout if busy else timeout - idle_for
+        self._idle_handle = self.loop.call_later(max(delay, 0.05),
+                                                 self._idle_check)
+
+
+class SqlServer:
+    """Asyncio TCP server speaking the simple-protocol subset."""
+
+    def __init__(self, db, host: str = "127.0.0.1", port: int = 0,
+                 max_connections: int = 64,
+                 idle_timeout: Optional[float] = None,
+                 workers: int = DEFAULT_WORKERS,
+                 slow_query_seconds: float = 0.25):
+        self.db = db
+        self.host = host
+        self.port = port
+        self.pool = ConnectionPool(max_connections)
+        self.idle_timeout = idle_timeout
+        self.telemetry = Telemetry(db, slow_query_seconds=slow_query_seconds)
+        self.executor = make_executor(workers)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._next_backend_pid = 0
+        self._connections: set[_WireConnection] = set()
+        # Coalescing outbox: workers append (conn, bytes) and wake the
+        # loop at most once per batch in flight.
+        self._outbox_lock = threading.Lock()
+        self._outbox: list[tuple[_WireConnection, bytes]] = []
+        self._flush_scheduled = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """(host, port) actually bound (resolves an ephemeral port 0)."""
+        assert self._server is not None, "server is not started"
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._server = await self._loop.create_server(
+            lambda: _WireConnection(self), self.host, self.port)
+
+    async def serve_forever(self) -> None:
+        await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for conn in list(self._connections):
+            if conn.transport is not None:
+                conn.transport.close()
+        self.executor.shutdown(wait=True, cancel_futures=True)
+
+    # -- query execution (worker threads) --------------------------------
+
+    def _execute(self, conn: _WireConnection, sql: str) -> bytes:
+        """Run one Query payload and encode the full response buffer."""
+        outputs = run_script(conn.session, sql, self.telemetry)
+        parts = []
+        for record in outputs:
+            kind = record[0]
+            if kind == "rows":
+                _, columns, rows, tag = record
+                parts.append(p.row_description(columns))
+                parts.extend(p.data_row(row) for row in rows)
+                parts.append(p.command_complete(tag))
+            elif kind == "complete":
+                parts.append(p.command_complete(record[1]))
+            elif kind == "notice":
+                parts.append(p.notice_response(record[1]))
+            elif kind == "error":
+                parts.append(p.error_response(record[1], record[2]))
+            elif kind == "empty":
+                parts.append(p.empty_query_response())
+        parts.append(p.ready_for_query(self._txn_status(conn.session)))
+        return b"".join(parts)
+
+    @staticmethod
+    def _txn_status(session) -> bytes:
+        return p.STATUS_IN_TRANSACTION if session.in_transaction \
+            else p.STATUS_IDLE
+
+    # -- response delivery (workers -> loop) ------------------------------
+
+    def _send(self, conn: _WireConnection, data: bytes) -> None:
+        with self._outbox_lock:
+            self._outbox.append((conn, data))
+            if self._flush_scheduled:
+                return
+            self._flush_scheduled = True
+        self._loop.call_soon_threadsafe(self._flush)
+
+    def _flush(self) -> None:
+        with self._outbox_lock:
+            batch, self._outbox = self._outbox, []
+            self._flush_scheduled = False
+        for conn, data in batch:
+            if conn.transport is not None and not conn.transport.is_closing():
+                conn.transport.write(data)
+
+    # -- STATS (loop thread) ---------------------------------------------
+
+    def _stats_response(self, conn: _WireConnection) -> bytes:
+        lines = self.telemetry.stats_lines(self.pool)
+        parts = [p.row_description(["metric"])]
+        parts.extend(p.data_row([line]) for line in lines)
+        parts.append(p.command_complete(f"STATS {len(lines)}"))
+        parts.append(p.ready_for_query(self._txn_status(conn.session)))
+        return b"".join(parts)
+
+
+class ServerThread:
+    """A :class:`SqlServer` on a daemon thread with its own event loop.
+
+    ``with ServerThread(db) as (host, port): ...`` — used by the tests,
+    the benchmark driver, the fuzzer's wire oracle and the README
+    quickstart.  ``port=0`` (the default) binds an ephemeral port.
+    """
+
+    def __init__(self, db, **kwargs):
+        self.server = SqlServer(db, **kwargs)
+        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.server.address
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-server-loop")
+        self._thread.start()
+        self._ready.wait(timeout=10)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if not self._ready.is_set():
+            raise RuntimeError("server thread failed to start in time")
+        return self
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self.server.start())
+        except BaseException as exc:  # surface bind errors to start()
+            self._startup_error = exc
+            self._ready.set()
+            self._loop.close()
+            return
+        self._ready.set()
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.run_until_complete(self.server.stop())
+            self._loop.close()
+
+    def stop(self) -> None:
+        if self._loop is not None and self._loop.is_running():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+
+    def __enter__(self) -> tuple[str, int]:
+        self.start()
+        return self.address
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,129 @@
+"""Production telemetry for the wire server.
+
+Three instruments, all fed from executor worker threads (hence the lock):
+
+* a **latency histogram** with logarithmic buckets (powers of two in
+  microseconds) plus exact count/sum, supporting percentile estimates;
+* a **slow-query log** — a bounded ring of ``(timestamp, elapsed, sql)``
+  records for queries over the configurable threshold;
+* a **stats renderer** that flattens the histogram, the slow-query log
+  and the database profiler's counters (``SERVER_*`` and engine counters
+  alike) into ``name value`` lines — the payload of the line-based
+  ``STATS`` endpoint, served without touching the engine.
+
+The profiler remains the single source of truth for event *counts*
+(:mod:`repro.sql.profiler` grew ``SERVER_*`` counters and a counter
+lock); this module owns only the timing distribution and the slow-query
+evidence, which have no place in the engine's cost taxonomy.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Optional
+
+#: Histogram buckets: upper bounds in seconds, 1us .. ~67s as powers of 2,
+#: with a catch-all +Inf bucket at the end.
+_BUCKET_BOUNDS = tuple((2 ** i) * 1e-6 for i in range(27))
+
+
+class LatencyHistogram:
+    """Log-bucketed latency accumulator (thread-safe)."""
+
+    __slots__ = ("_lock", "_buckets", "count", "total")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._buckets = [0] * (len(_BUCKET_BOUNDS) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, seconds: float) -> None:
+        index = 0
+        while index < len(_BUCKET_BOUNDS) and seconds > _BUCKET_BOUNDS[index]:
+            index += 1
+        with self._lock:
+            self._buckets[index] += 1
+            self.count += 1
+            self.total += seconds
+
+    def percentile(self, fraction: float) -> float:
+        """Upper bucket bound at the given quantile (0 when empty)."""
+        with self._lock:
+            remaining = int(self.count * fraction)
+            for index, in_bucket in enumerate(self._buckets):
+                remaining -= in_bucket
+                if remaining < 0:
+                    if index >= len(_BUCKET_BOUNDS):
+                        return _BUCKET_BOUNDS[-1]
+                    return _BUCKET_BOUNDS[index]
+        return 0.0
+
+    def nonzero_buckets(self) -> list[tuple[float, int]]:
+        """(upper-bound-seconds, count) for every populated bucket."""
+        with self._lock:
+            snapshot = list(self._buckets)
+        out = []
+        for index, in_bucket in enumerate(snapshot):
+            if in_bucket:
+                bound = _BUCKET_BOUNDS[index] \
+                    if index < len(_BUCKET_BOUNDS) else float("inf")
+                out.append((bound, in_bucket))
+        return out
+
+
+class Telemetry:
+    """Per-server telemetry: histogram + slow-query ring + stats lines."""
+
+    def __init__(self, db, slow_query_seconds: float = 0.25,
+                 slow_log_size: int = 128):
+        self.db = db
+        self.slow_query_seconds = slow_query_seconds
+        self.histogram = LatencyHistogram()
+        self._lock = threading.Lock()
+        self._slow: deque = deque(maxlen=slow_log_size)
+
+    def record(self, sql: str, elapsed: float,
+               error: Optional[BaseException] = None) -> bool:
+        """Record one query; returns True when it was slow."""
+        self.histogram.observe(elapsed)
+        if elapsed >= self.slow_query_seconds:
+            with self._lock:
+                self._slow.append((time.time(), elapsed,
+                                   " ".join(sql.split())[:500],
+                                   type(error).__name__ if error else ""))
+            return True
+        return False
+
+    def slow_queries(self) -> list[tuple]:
+        with self._lock:
+            return list(self._slow)
+
+    def stats_lines(self, pool=None) -> list[str]:
+        """The ``STATS`` endpoint payload: one ``name value`` per line."""
+        lines = []
+        if pool is not None:
+            lines.append(f"server_active_connections {pool.active}")
+            lines.append(f"server_max_connections {pool.max_connections}")
+        hist = self.histogram
+        lines.append(f"server_query_seconds_count {hist.count}")
+        lines.append(f"server_query_seconds_sum {hist.total:.6f}")
+        for bound, in_bucket in hist.nonzero_buckets():
+            label = "+Inf" if bound == float("inf") else f"{bound:.6f}"
+            lines.append(f'server_query_seconds_bucket{{le="{label}"}} '
+                         f"{in_bucket}")
+        for fraction in (0.5, 0.9, 0.99):
+            lines.append(f"server_query_seconds_p{int(fraction * 100)} "
+                         f"{hist.percentile(fraction):.6f}")
+        profiler = self.db.profiler
+        with profiler._counts_lock:
+            counts = dict(profiler.counts)
+        for counter in sorted(counts):
+            name = counter.replace(" ", "_").replace("->", "_to_")
+            lines.append(f"counter_{name} {counts[counter]}")
+        for when, elapsed, sql, err in self.slow_queries():
+            suffix = f" error={err}" if err else ""
+            lines.append(f"slow_query {elapsed:.6f}s{suffix} {sql}")
+        return lines

@@ -31,6 +31,7 @@ own settings overlay, notices, and prepared-statement registry.
 from __future__ import annotations
 
 import random
+import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Optional, Sequence
 
@@ -153,6 +154,15 @@ class _TxnScope:
     * the statement was BEGIN — it flips the autocommit transaction to
       explicit and parks it on the session; the scope then leaves it
       open on exit.
+
+    The scope also takes the database's **execution lock** for its whole
+    duration (statement granularity, not transaction granularity): threaded
+    callers — the wire server's worker pool above all — serialize at this
+    choke point, so ``txnman.current``, the visible-rows caches and the
+    profiler's phase stack are only ever touched by one thread at a time,
+    while a session holding an open BEGIN block still releases the lock
+    between its statements (conflicting writers fail fast with
+    ``SerializationError`` instead of deadlocking).
     """
 
     __slots__ = ("db", "session", "txn", "nested", "mark")
@@ -162,6 +172,7 @@ class _TxnScope:
         self.session = session
 
     def __enter__(self):
+        self.db._exec_lock.acquire()
         mgr = self.db.txnman
         if mgr.current is not None:
             self.nested = True
@@ -177,25 +188,28 @@ class _TxnScope:
         return self
 
     def __exit__(self, exc_type, exc, tb):
-        if self.nested:
+        try:
+            if self.nested:
+                return False
+            self.db.txnman.current = None
+            txn = self.txn
+            if txn.finished:
+                # COMMIT / ROLLBACK ran inside this statement.
+                if self.session is not None and self.session._txn is txn:
+                    self.session._txn = None
+                return False
+            if txn.explicit:
+                # Either the session's open block, or this statement was the
+                # BEGIN that opened one: statement-level atomicity only.
+                if exc_type is not None:
+                    txn.rollback_to_mark(self.mark)
+            elif exc_type is None:
+                txn.commit()
+            else:
+                txn.rollback()
             return False
-        self.db.txnman.current = None
-        txn = self.txn
-        if txn.finished:
-            # COMMIT / ROLLBACK ran inside this statement.
-            if self.session is not None and self.session._txn is txn:
-                self.session._txn = None
-            return False
-        if txn.explicit:
-            # Either the session's open block, or this statement was the
-            # BEGIN that opened one: statement-level atomicity only.
-            if exc_type is not None:
-                txn.rollback_to_mark(self.mark)
-        elif exc_type is None:
-            txn.commit()
-        else:
-            txn.rollback()
-        return False
+        finally:
+            self.db._exec_lock.release()
 
 
 class Database:
@@ -225,6 +239,15 @@ class Database:
             sys.setrecursionlimit(20000)
         self.buffers = BufferManager()
         self.rng = random.Random(seed)
+        #: The execution lock: every statement (and every session
+        #: activation) runs under it, making one Database safe to share
+        #: between threads — the wire server's bounded worker pool drives
+        #: many sessions concurrently.  An RLock, because dispatch paths
+        #: nest (_execute_info → prepared re-dispatch → _dispatch_ast).
+        #: Granularity is one statement: sessions holding an open BEGIN
+        #: block release it between statements, so interleaved explicit
+        #: transactions still conflict-check instead of deadlocking.
+        self._exec_lock = threading.RLock()
         self.profiler = Profiler(enabled=profile)
         #: MVCC transaction manager: every statement runs inside one of
         #: its transactions (a throwaway autocommit one unless the session
@@ -317,9 +340,10 @@ class Database:
 
     def explain(self, sql: str) -> str:
         """Render the plan tree for a SELECT (or EXECUTE), EXPLAIN-style."""
-        with self.profiler.phase(PARSE):
-            stmt = parse_statement(sql)
-        return self._explain_ast(stmt, self.session)
+        with self._exec_lock:
+            with self.profiler.phase(PARSE):
+                stmt = parse_statement(sql)
+            return self._explain_ast(stmt, self.session)
 
     def reseed(self, seed: int) -> None:
         """Reset the engine RNG (``random()``) for reproducible runs."""

@@ -20,6 +20,7 @@ query), plan-cache hits and misses.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import defaultdict
 from contextlib import contextmanager
@@ -99,18 +100,40 @@ TXN_ROLLED_BACK = "transactions rolled back"
 WAL_RECORDS = "wal records written"
 WAL_REPLAYED = "wal records replayed"
 SNAPSHOT_SCANS = "snapshot visibility scans"
+#: Wire server (repro.server): connections accepted / rejected by the
+#: admission gate / reaped by the idle timeout, Query messages executed,
+#: queries answered with an ErrorResponse, and queries whose latency
+#: crossed the slow-query threshold.  Bumped from executor worker
+#: threads, hence the counter lock in :meth:`Profiler.bump`.
+SERVER_CONNECTIONS = "server connections"
+SERVER_REJECTED = "server connections rejected"
+SERVER_IDLE_CLOSED = "server idle timeouts"
+SERVER_QUERIES = "server queries"
+SERVER_ERRORS = "server query errors"
+SERVER_SLOW_QUERIES = "server slow queries"
 
 
 class Profiler:
-    """Stack-based exclusive phase timer plus event counters."""
+    """Stack-based exclusive phase timer plus event counters.
 
-    __slots__ = ("enabled", "times", "counts", "_stack")
+    Thread-safety: phase timing (``push``/``pop``) manipulates a single
+    stack and is only ever called from code that already holds the
+    database's execution lock, so it needs no locking of its own.
+    Counters are different — the wire server bumps ``SERVER_*`` counters
+    from the event loop and from executor worker threads *outside* the
+    execution lock, so :meth:`bump` takes a dedicated counter lock
+    (``counts[k] += n`` is a read-modify-write, not atomic under
+    free-threading or arbitrary bytecode interleavings).
+    """
+
+    __slots__ = ("enabled", "times", "counts", "_stack", "_counts_lock")
 
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
         self.times: dict[str, float] = defaultdict(float)
         self.counts: dict[str, int] = defaultdict(int)
         self._stack: list[list] = []  # [name, last_mark]
+        self._counts_lock = threading.Lock()
 
     # -- timing --------------------------------------------------------
 
@@ -144,7 +167,8 @@ class Profiler:
 
     def bump(self, counter: str, amount: int = 1) -> None:
         if self.enabled:
-            self.counts[counter] += amount
+            with self._counts_lock:
+                self.counts[counter] += amount
 
     # -- reporting --------------------------------------------------------
 

@@ -442,6 +442,12 @@ class Connection:
 
 
 class _Activation:
+    """Applies a session's overlay/notices to the engine — under the
+    database's execution lock, so two threads activating different
+    sessions can never interleave their save/restore of the globals
+    (the lock is reentrant; the per-statement ``_TxnScope`` nests
+    inside it)."""
+
     __slots__ = ("conn",)
 
     def __init__(self, conn: Connection):
@@ -449,6 +455,7 @@ class _Activation:
 
     def __enter__(self):
         conn = self.conn
+        conn.db._exec_lock.acquire()
         conn._active_depth += 1
         if conn._root or conn._active_depth > 1:
             return conn
@@ -473,23 +480,26 @@ class _Activation:
 
     def __exit__(self, *exc) -> None:
         conn = self.conn
-        conn._active_depth -= 1
-        if conn._root or conn._active_depth > 0:
-            return
-        db = conn.db
-        registry = db.settings
-        plan_changed = False
-        for name, value in conn._saved.items():
-            setting = registry.lookup(name)
-            if setting.plan_affecting and setting.get(db) != value:
-                plan_changed = True
-            setting.set_raw(db, value)
-        conn._saved.clear()
-        if plan_changed:
-            db._clear_function_plan_caches()
-        if conn._saved_notices is not None:
-            db.notices = conn._saved_notices
-            conn._saved_notices = None
+        try:
+            conn._active_depth -= 1
+            if conn._root or conn._active_depth > 0:
+                return
+            db = conn.db
+            registry = db.settings
+            plan_changed = False
+            for name, value in conn._saved.items():
+                setting = registry.lookup(name)
+                if setting.plan_affecting and setting.get(db) != value:
+                    plan_changed = True
+                setting.set_raw(db, value)
+            conn._saved.clear()
+            if plan_changed:
+                db._clear_function_plan_caches()
+            if conn._saved_notices is not None:
+                db.notices = conn._saved_notices
+                conn._saved_notices = None
+        finally:
+            conn.db._exec_lock.release()
 
 
 class Cursor:

@@ -27,6 +27,7 @@ used by tests and benchmarks) and SET/SHOW always agree.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from operator import attrgetter
 from typing import TYPE_CHECKING, Optional, Sequence
 
 from .errors import SettingError
@@ -195,6 +196,17 @@ def _default_settings() -> list[Setting]:
     return settings
 
 
+def _tuple_getter(attrs: list[str]):
+    """A callable reading *attrs* off one object as a tuple, C-fast."""
+    if not attrs:
+        empty = ()
+        return lambda obj: empty
+    if len(attrs) == 1:
+        single = attrgetter(attrs[0])
+        return lambda obj: (single(obj),)
+    return attrgetter(*attrs)
+
+
 class SettingsRegistry:
     """All registered settings of one :class:`~repro.sql.engine.Database`.
 
@@ -209,6 +221,16 @@ class SettingsRegistry:
             s.name: s for s in _default_settings()}
         self._plan_affecting: tuple[Setting, ...] = tuple(
             s for s in self._settings.values() if s.plan_affecting)
+        # Composite attrgetters make fingerprint() two C calls instead of
+        # a Python-level get() per setting — it runs on every prepared
+        # execution and every plan-cache probe, which the wire server
+        # turned into a per-request cost.  (Values are still read live:
+        # tests poke backing attributes directly, so caching the tuple
+        # would go stale.)
+        self._fp_db_get = _tuple_getter(
+            [s.attr for s in self._plan_affecting if s.scope == "db"])
+        self._fp_planner_get = _tuple_getter(
+            [s.attr for s in self._plan_affecting if s.scope == "planner"])
 
     def __iter__(self):
         return iter(self._settings.values())
@@ -259,7 +281,7 @@ class SettingsRegistry:
         that swap values around single statements.
         """
         db = self._db
-        return tuple(s.get(db) for s in self._plan_affecting)
+        return self._fp_db_get(db) + self._fp_planner_get(db.planner)
 
     def assign(self, name: str, raw) -> object:
         """Validate and apply a global assignment; returns the typed value.

@@ -34,6 +34,17 @@ results consistent with sequential scans while writers are in flight.
 A per-table visible-rows cache short-circuits the common all-committed
 case — it is built and served only under snapshots that provably agree
 with it (fresh ``xmax``, no in-progress writers).
+
+Thread-safety audit (wire-server era): nothing in this module locks, by
+design.  Every code path that reads or writes heap versions, indexes, or
+the ``_vis_cache`` tuple runs inside a statement dispatch, and every
+statement dispatch holds ``Database._exec_lock`` (acquired by
+``_TxnScope`` and by session activation).  The cache in particular is a
+read-modify-write of two attributes (``_vis_cache`` + the rows list); two
+unlocked threads could serve a stale tuple built for a dead snapshot.
+The execution lock is the single serialization point — do not add
+lock-free fast paths here without revisiting that invariant
+(``tests/test_server_concurrency.py`` has the regression test).
 """
 
 from __future__ import annotations

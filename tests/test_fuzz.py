@@ -424,3 +424,54 @@ class TestTxnFuzz:
                               expect="conflict")]
         problems = check_txn_case(case, use_sqlite=False)
         assert problems and problems[0].kind == "expect"
+
+
+# ---------------------------------------------------------------------------
+# The wire axis (served engine vs embedded engine)
+# ---------------------------------------------------------------------------
+
+
+class TestWireFuzz:
+    def test_smoke_run_is_clean(self):
+        """Tier-1 smoke: ~25 twin-database cases through a live server,
+        rows and error SQLSTATEs agreeing with the embedded engine
+        (CI runs the time-budgeted rotating-seed version)."""
+        from repro.fuzz.__main__ import run_wire_fuzz
+        assert run_wire_fuzz(seed=0, cases=25, verbose=False) == 0
+
+    def test_wire_outcome_recovers_taxonomy_labels(self):
+        """SQLSTATE -> taxonomy label round trip against a live server:
+        the injective mapping is what makes error agreement checkable."""
+        from repro.fuzz.wire import wire_outcome
+        from repro.server import ServerThread, connect
+        from repro.sql import Database
+        with ServerThread(Database(seed=0)) as address:
+            with connect(*address) as client:
+                ok = wire_outcome(client, "SELECT 1")
+                assert ok.status == "ok" and ok.rows == [("1",)]
+                missing = wire_outcome(client, "SELECT * FROM missing")
+                assert (missing.status, missing.error) == \
+                    ("error", "name-resolution")
+                syntax = wire_outcome(client, "SELEC 1")
+                assert (syntax.status, syntax.error) == ("error", "parse")
+
+    def test_checker_catches_a_divergent_twin(self, monkeypatch):
+        """Sanity that the wire oracle can fail: make the embedded twin
+        lie (duplicate a row) and the checker must report 'result'."""
+        from repro.fuzz import wire as wire_module
+        from repro.fuzz.querygen import generate_case
+        real = wire_module.run_statement
+
+        def lying(db, sql, params=()):
+            outcome = real(db, sql, params)
+            if outcome.status == "ok" and outcome.rows:
+                outcome.rows = list(outcome.rows) + [outcome.rows[0]]
+            return outcome
+
+        monkeypatch.setattr(wire_module, "run_statement", lying)
+        for index in range(10):  # first case whose queries return rows
+            problems = wire_module.check_wire_case(generate_case(0, index))
+            if problems:
+                assert all(p.kind == "result" for p in problems)
+                return
+        raise AssertionError("no case produced rows to diverge on")

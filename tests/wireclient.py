@@ -1,0 +1,151 @@
+"""Minimal raw-byte wire client for the protocol conformance suite.
+
+Deliberately independent of ``repro.server.client``: this client frames
+and parses every byte itself, so a framing bug in the production codec
+cannot cancel out between the shipped client and the server.  It also
+exposes raw-message primitives (``send_raw``, ``read_message``) the
+malformed-frame and mid-message-disconnect tests need.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+
+
+def startup_bytes(params: dict[str, str] | None = None,
+                  version: int = 196608) -> bytes:
+    """A StartupMessage, framed from scratch."""
+    if params is None:
+        params = {"user": "test", "database": "test"}
+    body = struct.pack("!I", version)
+    for key, value in params.items():
+        body += key.encode() + b"\x00" + value.encode() + b"\x00"
+    body += b"\x00"
+    return struct.pack("!I", len(body) + 4) + body
+
+
+def query_bytes(sql: str) -> bytes:
+    payload = sql.encode() + b"\x00"
+    return b"Q" + struct.pack("!I", len(payload) + 4) + payload
+
+
+def terminate_bytes() -> bytes:
+    return b"X" + struct.pack("!I", 4)
+
+
+class RawWireClient:
+    """Socket + hand-rolled framing; every parse is local to this file."""
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0):
+        self.sock = socket.create_connection((host, port), timeout=timeout)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    # -- raw I/O ---------------------------------------------------------
+
+    def send_raw(self, data: bytes) -> None:
+        self.sock.sendall(data)
+
+    def recv_exact(self, n: int) -> bytes:
+        chunks = []
+        while n:
+            chunk = self.sock.recv(n)
+            if not chunk:
+                raise ConnectionError("server closed the connection")
+            chunks.append(chunk)
+            n -= len(chunk)
+        return b"".join(chunks)
+
+    def read_message(self) -> tuple[bytes, bytes]:
+        """One typed backend message: (type byte, payload)."""
+        header = self.recv_exact(5)
+        (length,) = struct.unpack("!I", header[1:])
+        assert length >= 4, f"length {length} below header size"
+        return header[:1], self.recv_exact(length - 4)
+
+    def read_until_ready(self) -> list[tuple[bytes, bytes]]:
+        """All messages up to and including ReadyForQuery."""
+        messages = []
+        while True:
+            type_byte, payload = self.read_message()
+            messages.append((type_byte, payload))
+            if type_byte == b"Z":
+                return messages
+
+    def eof(self, timeout: float = 5.0) -> bool:
+        """True when the server closed the connection (no stray bytes)."""
+        self.sock.settimeout(timeout)
+        try:
+            return self.sock.recv(1) == b""
+        except socket.timeout:
+            return False
+
+    # -- convenience -----------------------------------------------------
+
+    def handshake(self, params: dict[str, str] | None = None
+                  ) -> list[tuple[bytes, bytes]]:
+        self.send_raw(startup_bytes(params))
+        return self.read_until_ready()
+
+    def query(self, sql: str) -> list[tuple[bytes, bytes]]:
+        self.send_raw(query_bytes(sql))
+        return self.read_until_ready()
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "RawWireClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# -- decoding helpers (local re-implementations, on purpose) -------------
+
+def decode_fields(payload: bytes) -> dict[str, str]:
+    """ErrorResponse / NoticeResponse diagnostic fields."""
+    fields = {}
+    pos = 0
+    while pos < len(payload) and payload[pos:pos + 1] != b"\x00":
+        code = chr(payload[pos])
+        end = payload.index(b"\x00", pos + 1)
+        fields[code] = payload[pos + 1:end].decode()
+        pos = end + 1
+    return fields
+
+
+def decode_row_description(payload: bytes) -> list[dict]:
+    """Full per-column descriptors (name, type oid, typlen, format...)."""
+    (count,) = struct.unpack_from("!H", payload, 0)
+    pos = 2
+    columns = []
+    for _ in range(count):
+        end = payload.index(b"\x00", pos)
+        name = payload[pos:end].decode()
+        pos = end + 1
+        table_oid, attnum, type_oid, typlen, typmod, fmt = \
+            struct.unpack_from("!IhIhih", payload, pos)
+        pos += 18
+        columns.append({"name": name, "table_oid": table_oid,
+                        "attnum": attnum, "type_oid": type_oid,
+                        "typlen": typlen, "typmod": typmod, "format": fmt})
+    return columns
+
+
+def decode_data_row(payload: bytes) -> list:
+    (count,) = struct.unpack_from("!H", payload, 0)
+    pos = 2
+    values = []
+    for _ in range(count):
+        (length,) = struct.unpack_from("!i", payload, pos)
+        pos += 4
+        if length < 0:
+            values.append(None)
+        else:
+            values.append(payload[pos:pos + length].decode())
+            pos += length
+    return values
