@@ -1,0 +1,170 @@
+"""Cancellation latency and WAL replay with checkpointing.
+
+Two robustness numbers the governance layer promises:
+
+* **Cancel latency** — a runaway ``WITH RECURSIVE`` counter (minutes of
+  work if left alone) is running over the wire; from the moment the
+  out-of-band CancelRequest is sent, how long until the worker slot is
+  free again (the client holds the ErrorResponse)?  The token is polled
+  per recursion iteration, so this measures the full trip: fresh TCP
+  connection, key lookup, cross-thread trip, unwind, statement-level
+  rollback, ErrorResponse.  Same gate for the ``statement_timeout``
+  overshoot (deadline to error, minus the deadline itself).
+  Acceptance: median < 100 ms for both.
+
+* **Replay speedup** — a 50k-row-update history replayed cold vs the
+  same history compacted by ``CHECKPOINT`` first.  Replay is O(history)
+  without compaction and O(live data) with it; the gate (>= 5x) is what
+  "recovery time stays bounded" means concretely.
+
+``BENCH_cancel.json`` records both for the cross-PR perf trajectory.
+"""
+
+from __future__ import annotations
+
+import shutil
+import threading
+import time
+
+from repro.bench.harness import render_table
+from repro.server import ServerError, ServerThread, connect
+from repro.sql import Database
+
+RUNAWAY = ("WITH RECURSIVE r(n) AS (SELECT 1 UNION ALL "
+           "SELECT n + 1 FROM r WHERE n < 2000000000) "
+           "SELECT count(*) FROM r")
+
+CANCEL_ROUNDS = 5
+TIMEOUT_MS = 50
+REPLAY_ROWS = 500
+REPLAY_SWEEPS = 100           # full-table updates: 50k row-updates logged
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    return ordered[len(ordered) // 2]
+
+
+def _cancel_latency(address) -> float:
+    """One round: seconds from CancelRequest to the freed worker slot."""
+    client = connect(*address)
+    finished = []
+
+    def run_query():
+        try:
+            client.query(RUNAWAY)
+        except ServerError as error:
+            assert error.sqlstate == "57014", error
+            finished.append(time.perf_counter())
+
+    runner = threading.Thread(target=run_query)
+    runner.start()
+    time.sleep(0.3)           # let the query reach its hot loop
+    cancel_sent = time.perf_counter()
+    client.cancel()
+    runner.join(timeout=30)
+    assert finished, "query was never canceled"
+    # The slot really is free: the same session answers again.
+    assert client.query_rows("SELECT 1") == [("1",)]
+    client.close()
+    return finished[0] - cancel_sent
+
+
+def _timeout_overshoot(address) -> float:
+    """One round: seconds past the statement_timeout deadline."""
+    client = connect(*address)
+    client.query(f"SET statement_timeout = {TIMEOUT_MS}")
+    started = time.perf_counter()
+    try:
+        client.query(RUNAWAY)
+        raise AssertionError("runaway query was never timed out")
+    except ServerError as error:
+        assert error.sqlstate == "57014", error
+    elapsed = time.perf_counter() - started
+    client.close()
+    return elapsed - TIMEOUT_MS / 1000.0
+
+
+def _build_history(path: str) -> None:
+    db = Database(profile=False, path=path)
+    db.execute("SET wal_checkpoint_interval = 0")  # keep the raw history
+    db.execute("CREATE TABLE t(id int, v int)")
+    db.execute("INSERT INTO t VALUES " +
+               ", ".join(f"({i}, 0)" for i in range(REPLAY_ROWS)))
+    for _ in range(REPLAY_SWEEPS):
+        db.execute("UPDATE t SET v = v + 1")
+    db.wal.close()
+
+
+def _timed_open(path: str) -> tuple[float, Database]:
+    started = time.perf_counter()
+    db = Database(profile=False, path=path)
+    return time.perf_counter() - started, db
+
+
+def test_cancel_latency_and_replay_speedup(tmp_path, write_artifact,
+                                           write_json):
+    db = Database(profile=False)
+    with ServerThread(db, workers=2) as address:
+        cancel_s = [_cancel_latency(address) for _ in range(CANCEL_ROUNDS)]
+        timeout_s = [_timeout_overshoot(address)
+                     for _ in range(CANCEL_ROUNDS)]
+    cancel_ms = _median(cancel_s) * 1000.0
+    timeout_ms = _median(timeout_s) * 1000.0
+
+    # -- replay: raw 50k-update history vs checkpointed snapshot --------
+    raw = str(tmp_path / "raw.wal")
+    _build_history(raw)
+    compacted = str(tmp_path / "compacted.wal")
+    shutil.copyfile(raw, compacted)
+
+    raw_replay_s, db_raw = _timed_open(raw)
+    assert db_raw.query_value("SELECT sum(v) FROM t") == \
+        REPLAY_ROWS * REPLAY_SWEEPS
+    db_raw.wal.close()
+
+    ckpt_db = Database(profile=False, path=compacted)
+    records = ckpt_db.wal.checkpoint()
+    ckpt_db.wal.close()
+    ckpt_replay_s, db_ckpt = _timed_open(compacted)
+    assert db_ckpt.query_value("SELECT sum(v) FROM t") == \
+        REPLAY_ROWS * REPLAY_SWEEPS
+    db_ckpt.wal.close()
+    speedup = raw_replay_s / ckpt_replay_s
+
+    rows_table = [
+        ["CancelRequest -> freed slot (median)", f"{cancel_ms:.1f} ms"],
+        [f"statement_timeout={TIMEOUT_MS}ms overshoot (median)",
+         f"{timeout_ms:.1f} ms"],
+        [f"replay {REPLAY_ROWS}x{REPLAY_SWEEPS} update history",
+         f"{raw_replay_s * 1000:.0f} ms"],
+        [f"replay after CHECKPOINT ({records} records)",
+         f"{ckpt_replay_s * 1000:.0f} ms"],
+        ["replay speedup", f"{speedup:.1f}x"],
+    ]
+    write_artifact(
+        "bench_cancel.txt",
+        render_table(["metric", "value"], rows_table,
+                     title="Cancellation latency and checkpointed replay"))
+    write_json("cancel", {
+        "cancel_rounds": CANCEL_ROUNDS,
+        "cancel_latency_ms_median": cancel_ms,
+        "timeout_overshoot_ms_median": timeout_ms,
+        "replay_rows": REPLAY_ROWS,
+        "replay_sweeps": REPLAY_SWEEPS,
+        "replay_raw_s": raw_replay_s,
+        "replay_checkpointed_s": ckpt_replay_s,
+        "checkpoint_records": records,
+        "speedups": {
+            "replay_checkpointed_vs_raw": speedup,
+        },
+    })
+
+    # Acceptance gates: a stuck slot frees within 100 ms either way, and
+    # compaction keeps recovery O(live data).
+    assert cancel_ms < 100, f"cancel latency {cancel_ms:.1f} ms >= 100 ms"
+    assert timeout_ms < 100, \
+        f"statement_timeout overshoot {timeout_ms:.1f} ms >= 100 ms"
+    assert speedup >= 5, (
+        f"checkpointed replay only {speedup:.1f}x faster "
+        f"({raw_replay_s:.3f}s -> {ckpt_replay_s:.3f}s)")

@@ -20,6 +20,7 @@ from repro.sql.profiler import (FUZZ_CASES, FUZZ_COMPARISONS,
                                 FUZZ_EXECUTIONS, FUZZ_SQLITE_CHECKS,
                                 Profiler)
 
+from .chaos import check_chaos_case
 from .oracle import DifferentialChecker, check_txn_case
 from .querygen import generate_case
 from .reduce import Reducer, emit_pytest
@@ -210,6 +211,61 @@ def run_wire_fuzz(seed: int = 0, cases: int = 200, *,
     return failures
 
 
+def run_chaos_fuzz(seed: int = 0, cases: int = 200, *,
+                   time_budget: float | None = None, max_failures: int = 5,
+                   start_index: int = 0, verbose: bool = True,
+                   profiler: Profiler | None = None) -> int:
+    """Run the fault-injection chaos axis; returns failing cases.
+
+    Each case from the regular corpus drives a durable twin (WAL +
+    aggressive checkpointing + injected ``wal.checkpoint.*`` failures)
+    and a memory twin through the same workload, then reopens the
+    durable one and requires full agreement — plus a sampled wire check
+    under injected send latency (see :mod:`repro.fuzz.chaos`).
+    """
+    profiler = profiler if profiler is not None else Profiler()
+    started = time.monotonic()
+    failures = 0
+    for index in range(start_index, start_index + cases):
+        if time_budget is not None and \
+                time.monotonic() - started > time_budget:
+            if verbose:
+                print(f"time budget ({time_budget:.0f}s) reached after "
+                      f"{index - start_index} cases")
+            break
+        case = generate_case(seed, index)
+        try:
+            discrepancies = check_chaos_case(case, profiler=profiler)
+        except Exception as error:  # noqa: BLE001 — harness must survive
+            failures += 1
+            print(f"chaos case {index} (seed {case.seed}): harness error "
+                  f"{type(error).__name__}: {error}", file=sys.stderr)
+            if failures >= max_failures:
+                break
+            continue
+        if not discrepancies:
+            continue
+        failures += 1
+        print(f"chaos case {index} (seed {case.seed}): "
+              f"{len(discrepancies)} discrepancies", file=sys.stderr)
+        print(discrepancies[0].describe(), file=sys.stderr)
+        print("  script:\n" + case.script(), file=sys.stderr)
+        if failures >= max_failures:
+            if verbose:
+                print(f"stopping after {max_failures} failing cases",
+                      file=sys.stderr)
+            break
+    if verbose:
+        counts = profiler.counts
+        print(f"chaos seed {seed}: {counts[FUZZ_CASES]} cases, "
+              f"{counts[FUZZ_EXECUTIONS]} executions, "
+              f"{counts[FUZZ_COMPARISONS]} comparisons, "
+              f"{counts[FUZZ_DISCREPANCIES]} discrepancies, "
+              f"{failures} failing cases "
+              f"in {time.monotonic() - started:.1f}s")
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.fuzz",
@@ -244,6 +300,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="fuzz the wire path: run each case through a "
                              "live TCP server and compare rows and error "
                              "SQLSTATEs against the embedded engine")
+    parser.add_argument("--chaos", action="store_true",
+                        help="fuzz under fault injection: durable twin "
+                             "with WAL checkpointing and injected "
+                             "wal.checkpoint.*/server.send faults vs a "
+                             "memory twin, reopened and compared")
     args = parser.parse_args(argv)
     if args.dump:
         for index in range(args.index, args.index + args.cases):
@@ -252,6 +313,12 @@ def main(argv: list[str] | None = None) -> int:
             else:
                 sys.stdout.write(generate_case(args.seed, index).script())
         return 0
+    if args.chaos:
+        failures = run_chaos_fuzz(
+            seed=args.seed, cases=args.cases,
+            time_budget=args.time_budget, max_failures=args.max_failures,
+            start_index=args.index)
+        return 1 if failures else 0
     if args.server:
         failures = run_wire_fuzz(
             seed=args.seed, cases=args.cases,

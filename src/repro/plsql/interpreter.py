@@ -22,7 +22,8 @@ from typing import Optional
 from ..sql import ast as SA
 from ..sql.astutil import walk_expr
 from ..sql.catalog import FunctionDef
-from ..sql.errors import ExecutionError, PlsqlRuntimeError
+from ..sql.cancel import NEVER_CANCELED
+from ..sql.errors import PlsqlRuntimeError, QueryCanceledError
 from ..sql.expr import EvalContext, ExprCompiler, Relation, RuntimeContext, Scope
 from ..sql.executor.scan import make_slots
 from ..sql.profiler import (EXEC_END, EXEC_RUN, EXEC_START, INTERP, PLAN,
@@ -115,6 +116,11 @@ class Interpreter:
         self.values: list[Value] = [None] * len(runtime.var_names)
         self._stmt_budget = db.max_interp_statements
         self._stmt_count = 0
+        # The enclosing SQL statement's cancel token (an activation never
+        # outlives its statement), so every interpreted statement polls
+        # the same flag the executor loops do.
+        cancel = getattr(db, "_active_cancel", None)
+        self._cancel = cancel if cancel is not None else NEVER_CANCELED
         func = runtime.func
         for index, (name, type_name) in enumerate(
                 zip(func.param_names, func.param_types)):
@@ -236,9 +242,14 @@ class Interpreter:
 
     def _tick(self) -> None:
         """Charge one statement against the activation's budget."""
+        self._cancel.check()
         self._stmt_count += 1
         if self._stmt_count > self._stmt_budget:
-            raise ExecutionError(
+            # Budget exhaustion is resource governance cutting off a
+            # (most likely) non-terminating loop — the same family as a
+            # statement timeout, so it classifies under SQLSTATE 57014
+            # rather than as a generic execution error.
+            raise QueryCanceledError(
                 f"statement budget exceeded in {self.runtime.func.name}() "
                 f"after {self._stmt_budget} statements "
                 f"(max_interp_statements={self._stmt_budget}); "

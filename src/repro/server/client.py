@@ -14,8 +14,10 @@ cancel out between client and server.)
 
 from __future__ import annotations
 
+import random
 import socket
 import struct
+import time
 from typing import Optional
 
 from . import protocol as p
@@ -60,11 +62,15 @@ class WireClient:
     """One blocking connection; use :func:`connect` to open and greet."""
 
     def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self._address = (host, port)
         self.sock = socket.create_connection((host, port), timeout=timeout)
         self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self.parameters: dict[str, str] = {}
         self.notices: list[str] = []
         self.transaction_status = b"I"
+        #: From BackendKeyData: what :meth:`cancel` quotes back.
+        self.backend_pid = 0
+        self.backend_secret = 0
         self._closed = False
 
     # -- low-level I/O ---------------------------------------------------
@@ -103,7 +109,8 @@ class WireClient:
                 key, value = payload.split(b"\x00")[:2]
                 self.parameters[key.decode()] = value.decode()
             elif type_byte == b"K":
-                pass  # BackendKeyData: no live cancel to aim it at
+                self.backend_pid, self.backend_secret = \
+                    struct.unpack_from("!II", payload, 0)
             elif type_byte == b"E":
                 fields = p.parse_diagnostic_fields(payload)
                 raise ServerError(fields.get("C", "XX000"),
@@ -162,6 +169,43 @@ class WireClient:
             if result.rows is not None:
                 return result.rows
         raise ServerError("XX000", "statement returned no result set")
+
+    def query_retry(self, sql: str, attempts: int = 10,
+                    base_delay: float = 0.002) -> list[StatementResult]:
+        """Run *sql*, retrying serialization failures (SQLSTATE 40001)
+        with exponential backoff plus jitter.
+
+        Any other error propagates on the first occurrence; 40001 after
+        the final attempt propagates too.  When a failure leaves the
+        session inside an (aborted) transaction block, a ROLLBACK is
+        issued before the retry so each attempt starts clean.  Returns
+        the successful attempt's results.
+        """
+        for attempt in range(attempts):
+            try:
+                return self.query(sql)
+            except ServerError as error:
+                if error.sqlstate != "40001" or attempt == attempts - 1:
+                    raise
+                if self.transaction_status != b"I":
+                    self.query("ROLLBACK")
+                # Full jitter: sleep in [0, base * 2^attempt), capped —
+                # decorrelates retries of colliding sessions.
+                time.sleep(random.uniform(
+                    0, min(base_delay * (2 ** attempt), 0.1)))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def cancel(self) -> None:
+        """Ask the server to cancel this session's in-flight query.
+
+        Sent on a *fresh* connection quoting the BackendKeyData pair,
+        exactly like PostgreSQL — this socket is blocked mid-query, so a
+        cancel cannot travel on it.  Fire-and-forget: no reply arrives;
+        the canceled query fails over here with SQLSTATE 57014.
+        """
+        with socket.create_connection(self._address, timeout=5.0) as sock:
+            sock.sendall(p.encode_cancel_request(self.backend_pid,
+                                                 self.backend_secret))
 
     def close(self) -> None:
         if not self._closed:

@@ -62,6 +62,7 @@ _FIXED_TAGS = {
     A.ExplainStmt: "EXPLAIN",
     A.PrepareStmt: "PREPARE",
     A.DeallocateStmt: "DEALLOCATE",
+    A.CheckpointStmt: "CHECKPOINT",
 }
 
 _DML_TAGS = {

@@ -20,7 +20,7 @@ Messages implemented (direction as in the PostgreSQL docs):
 ========================  ====  =========================================
 StartupMessage            F->B  protocol version + ``key\\0value\\0...\\0``
 SSLRequest                F->B  answered with a plain ``N`` byte
-CancelRequest             F->B  accepted and ignored (no live cancel)
+CancelRequest             F->B  pid + secret; trips the target's token
 Query                     F->B  one SQL script, null-terminated
 Terminate                 F->B  clean connection shutdown
 AuthenticationOk          B->F  ``R`` + int32 0 (the only auth flavour)
@@ -66,6 +66,7 @@ CANCEL_REQUEST_CODE = 80877102
 #: Injective taxonomy-label -> SQLSTATE map (see module docstring).
 SQLSTATE_FOR_LABEL = {
     "serialization": "40001",
+    "query-canceled": "57014",
     "parse": "42601",
     "name-resolution": "42704",
     "plan": "0A000",
@@ -208,6 +209,13 @@ def encode_query(sql: str) -> bytes:
 
 def encode_terminate() -> bytes:
     return encode_message(b"X")
+
+
+def encode_cancel_request(pid: int, secret: int) -> bytes:
+    """Frontend CancelRequest: an untyped startup-phase frame sent on a
+    *fresh* connection (the canceled session's socket is busy mid-query)."""
+    return struct.pack("!IIII", 16, CANCEL_REQUEST_CODE,
+                       pid & 0xFFFFFFFF, secret & 0xFFFFFFFF)
 
 
 def parse_startup_payload(payload: bytes) -> dict[str, str]:

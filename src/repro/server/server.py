@@ -44,11 +44,13 @@ from __future__ import annotations
 
 import asyncio
 import collections
+import os
 import socket
 import struct
 import threading
 from typing import Optional
 
+from ..faults import FAULTS
 from ..sql.profiler import (SERVER_CONNECTIONS, SERVER_IDLE_CLOSED,
                             SERVER_REJECTED)
 from . import protocol as p
@@ -90,6 +92,9 @@ class _WireConnection(asyncio.Protocol):
         self._inflight = False
         self._idle_handle = None
         self._last_activity = 0.0
+        #: (pid, secret) sent in BackendKeyData; a CancelRequest quoting
+        #: both trips this session's cancel token.
+        self.backend_key: Optional[tuple[int, int]] = None
 
     # -- lifecycle (loop thread) ----------------------------------------
 
@@ -108,6 +113,10 @@ class _WireConnection(asyncio.Protocol):
             self._idle_handle.cancel()
             self._idle_handle = None
         self.server._connections.discard(self)
+        if self.backend_key is not None:
+            with self.server._keys_lock:
+                self.server._cancel_keys.pop(self.backend_key, None)
+            self.backend_key = None
         if self.session is not None:
             # Engine-level cleanup (rolls back an open transaction,
             # drops prepared statements) — on a worker, off the loop.
@@ -154,7 +163,11 @@ class _WireConnection(asyncio.Protocol):
             if code == p.SSL_REQUEST_CODE:
                 self.transport.write(b"N")
             elif code == p.CANCEL_REQUEST_CODE:
-                # No live cancellation; accepted and dropped.
+                if len(payload) >= 12:
+                    pid, secret = struct.unpack_from("!II", payload, 4)
+                    self.server._handle_cancel_request(pid, secret)
+                # Always close silently — like PostgreSQL, the requester
+                # learns nothing about whether the key matched.
                 self.transport.close()
                 self.phase = _CLOSED
             elif code == p.PROTOCOL_VERSION:
@@ -175,10 +188,15 @@ class _WireConnection(asyncio.Protocol):
         self.session = server.db.connect()
         server.db.profiler.bump(SERVER_CONNECTIONS)
         server._next_backend_pid += 1
+        pid = server._next_backend_pid
+        secret = int.from_bytes(os.urandom(4), "big")
+        self.backend_key = (pid, secret)
+        with server._keys_lock:
+            server._cancel_keys[self.backend_key] = self
         greeting = [p.authentication_ok()]
         for name, value in _STARTUP_PARAMETERS:
             greeting.append(p.parameter_status(name, value))
-        greeting.append(p.backend_key_data(server._next_backend_pid, 0))
+        greeting.append(p.backend_key_data(pid, secret))
         greeting.append(p.ready_for_query(p.STATUS_IDLE))
         self.transport.write(b"".join(greeting))
         self.phase = _READY
@@ -281,6 +299,9 @@ class SqlServer:
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._next_backend_pid = 0
         self._connections: set[_WireConnection] = set()
+        #: (pid, secret) -> connection, for out-of-band CancelRequests.
+        self._keys_lock = threading.Lock()
+        self._cancel_keys: dict[tuple[int, int], _WireConnection] = {}
         # Coalescing outbox: workers append (conn, bytes) and wake the
         # loop at most once per batch in flight.
         self._outbox_lock = threading.Lock()
@@ -344,9 +365,22 @@ class SqlServer:
         return p.STATUS_IN_TRANSACTION if session.in_transaction \
             else p.STATUS_IDLE
 
+    # -- cancellation (loop thread) ---------------------------------------
+
+    def _handle_cancel_request(self, pid: int, secret: int) -> None:
+        """Trip the target session's cancel token if (pid, secret) names a
+        live connection; silently ignore otherwise (wrong secret included).
+        The running statement notices at its next cooperative poll."""
+        with self._keys_lock:
+            target = self._cancel_keys.get((pid, secret))
+        if target is not None and target.session is not None:
+            target.session.cancel.trip()
+
     # -- response delivery (workers -> loop) ------------------------------
 
     def _send(self, conn: _WireConnection, data: bytes) -> None:
+        if FAULTS.active:
+            FAULTS.fire("server.send", self.db.profiler)
         with self._outbox_lock:
             self._outbox.append((conn, data))
             if self._flush_scheduled:

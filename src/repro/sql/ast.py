@@ -583,9 +583,17 @@ class ReleaseStmt:
     name: str
 
 
+@dataclass
+class CheckpointStmt:
+    """``CHECKPOINT`` — compact the WAL to a snapshot-prefixed log.
+
+    A no-op (with a notice) on a non-durable database; inside an explicit
+    transaction block it is rejected like PostgreSQL rejects VACUUM."""
+
+
 Statement = Union[SelectStmt, CreateTable, CreateType, CreateFunction,
                   CreateIndex, Insert, Update, Delete, DropTable,
                   DropFunction, DropIndex, PrepareStmt, ExecuteStmt,
                   DeallocateStmt, SetStmt, ShowStmt, ResetStmt, ExplainStmt,
                   BeginStmt, CommitStmt, RollbackStmt, SavepointStmt,
-                  ReleaseStmt]
+                  ReleaseStmt, CheckpointStmt]

@@ -38,15 +38,15 @@ from typing import TYPE_CHECKING, Optional, Sequence
 from . import ast as A
 from .catalog import Catalog, FunctionDef
 from .errors import (CatalogError, ExecutionError, PlanError, PlsqlError,
-                     SqlError, TypeError_)
+                     QueryCanceledError, SqlError, TypeError_)
 from .expr import EvalContext, ExprCompiler, Relation, RuntimeContext, Scope
 from .parser import parse_script, parse_statement
 from .planner import Planner
 from .profiler import (EXEC_END, EXEC_RUN, EXEC_START, PARSE, PLAN,
                        PLAN_CACHE_EVICTIONS, PLAN_CACHE_HIT, PLAN_CACHE_MISS,
                        PLAN_INSTANTIATIONS, PREPARED_EXECUTIONS,
-                       SETTINGS_ASSIGNMENTS, SWITCH_Q_TO_F, TXN_BEGUN,
-                       Profiler)
+                       QUERIES_CANCELED, SETTINGS_ASSIGNMENTS, SWITCH_Q_TO_F,
+                       TXN_BEGUN, Profiler)
 from .settings import SettingsRegistry
 from .storage import BufferManager
 from .txn import TransactionManager
@@ -185,28 +185,52 @@ class _TxnScope:
         self.txn = txn
         mgr.current = txn
         self.mark = txn.begin_statement()
+        # Arm the session's cancel token for this statement: clears any
+        # stale trip and starts the statement_timeout clock (the session
+        # overlay was applied before the scope opened, so a SET LOCAL
+        # statement_timeout is already in effect here).  The token is
+        # published on the database so RuntimeContexts built anywhere on
+        # this statement's call path (subplans, UDFs, the interpreter)
+        # poll the same flag the wire server trips cross-thread.
+        if session is not None:
+            token = session.cancel
+            token.arm(self.db.statement_timeout)
+            self.db._active_cancel = token
         return self
 
     def __exit__(self, exc_type, exc, tb):
         try:
             if self.nested:
                 return False
-            self.db.txnman.current = None
+            db = self.db
+            if db._active_cancel is not None:
+                db._active_cancel.disarm()
+                db._active_cancel = None
+            if exc_type is not None and issubclass(exc_type,
+                                                   QueryCanceledError):
+                db.profiler.bump(QUERIES_CANCELED)
+            db.txnman.current = None
             txn = self.txn
             if txn.finished:
                 # COMMIT / ROLLBACK ran inside this statement.
                 if self.session is not None and self.session._txn is txn:
                     self.session._txn = None
-                return False
-            if txn.explicit:
+            elif txn.explicit:
                 # Either the session's open block, or this statement was the
                 # BEGIN that opened one: statement-level atomicity only.
+                # A canceled statement takes this same path, which is what
+                # keeps the block's earlier work alive through a cancel.
                 if exc_type is not None:
                     txn.rollback_to_mark(self.mark)
             elif exc_type is None:
                 txn.commit()
             else:
                 txn.rollback()
+            if exc_type is None and db.wal is not None:
+                # Still under the exec lock with this statement's txn
+                # retired — the safe window for auto-compaction (the
+                # manager defers itself while other writers are open).
+                db.wal.maybe_checkpoint()
             return False
         finally:
             self.db._exec_lock.release()
@@ -275,6 +299,19 @@ class Database:
         #: LRU bound on cached statement plans (``SET plan_cache_size``);
         #: 0 disables statement-plan caching entirely.
         self.plan_cache_size = 256
+        #: Cancel any statement running longer than this many milliseconds
+        #: (0 = no timeout).  Armed per statement on the session's
+        #: CancelToken by _TxnScope; honors SET LOCAL via the overlay.
+        self.statement_timeout = 0
+        #: Auto-checkpoint the WAL once this many records have been
+        #: appended since the last compaction (0 disables; CHECKPOINT
+        #: still works).  Large enough that short-lived test logs never
+        #: compact behind the tests' backs.
+        self.wal_checkpoint_interval = 10_000
+        #: The cancel token of the statement currently holding the
+        #: execution lock (None between statements).  RuntimeContext
+        #: snapshots it; the wire server trips it from the event loop.
+        self._active_cancel = None
         #: RAISE NOTICE/WARNING/INFO messages from PL/pgSQL execution.
         #: Sessions swap in their own list while executing, so notices
         #: raised on a Connection land on that Connection.
@@ -507,6 +544,8 @@ class Database:
             return UTILITY, self._do_savepoint(stmt, session)
         if isinstance(stmt, A.ReleaseStmt):
             return UTILITY, self._do_release(stmt, session)
+        if isinstance(stmt, A.CheckpointStmt):
+            return UTILITY, self._do_checkpoint(session)
         raise SqlError(f"unsupported statement {type(stmt).__name__}")
 
     # ------------------------------------------------------------------
@@ -577,6 +616,22 @@ class Database:
             raise ExecutionError(
                 "RELEASE SAVEPOINT can only be used in transaction blocks")
         txn.release_savepoint(stmt.name)
+        return Result([], [])
+
+    def _do_checkpoint(self, session: "Connection") -> Result:
+        if session is not None and self._session_txn(session) is not None:
+            raise ExecutionError(
+                "CHECKPOINT cannot run inside a transaction block")
+        if self.wal is None:
+            self.notices.append(
+                "WARNING: database is not durable; CHECKPOINT is a no-op")
+            return Result([], [])
+        if self.txnman.active_xids:
+            # Another session's write transaction is open; a snapshot now
+            # would promote its uncommitted catalog/heap state.
+            raise ExecutionError(
+                "CHECKPOINT requires no write transaction in progress")
+        self.wal.checkpoint()
         return Result([], [])
 
     def _explain_ast(self, stmt: A.Statement, session: "Connection") -> str:

@@ -64,6 +64,19 @@ class SerializationError(SqlError):
     """
 
 
+class QueryCanceledError(SqlError):
+    """The running statement was canceled (SQLSTATE 57014 family).
+
+    Raised cooperatively from executor hot loops and the PL/pgSQL
+    interpreter when the session's :class:`~repro.sql.cancel.CancelToken`
+    was tripped (wire ``CancelRequest``, programmatic trip), when
+    ``statement_timeout`` expired, or when the interpreter's statement
+    budget ran out — PostgreSQL classifies all of these as "operator
+    intervention / query canceled".  Only the canceled statement rolls
+    back; an enclosing explicit transaction block survives.
+    """
+
+
 class PlsqlError(SqlError):
     """Base class for PL/pgSQL front-end and interpreter errors."""
 
@@ -89,6 +102,7 @@ class LoopNotSupportedError(CompileError):
 #: reported, even when every strategy crashes alike.
 _ERROR_TAXONOMY: tuple[tuple[type, str], ...] = (
     (SerializationError, "serialization"),
+    (QueryCanceledError, "query-canceled"),
     (ParseError, "parse"),
     (NameResolutionError, "name-resolution"),
     (PlanError, "plan"),

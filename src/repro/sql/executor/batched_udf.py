@@ -344,8 +344,10 @@ class MachineCallState:
                   if len(transitions) == 1 else None)
         ctx = EvalContext(rt, vector, slots=self.trans_slots)
         limit = rt.db.max_recursion_iterations
+        cancel = rt.cancel
         iterations = 0
         while working:
+            cancel.check()
             iterations += 1
             if iterations > limit:
                 raise ExecutionError(

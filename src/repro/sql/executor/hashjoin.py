@@ -154,8 +154,10 @@ class HashJoinState(FromNodeState):
         table: dict = {}
         key_cats: list[dict] = [{} for _ in build_keys]
         build_state.open(outer)
+        cancel = self.rt.cancel
         count = 0
         while build_state.next():
+            cancel.check()
             key = []
             for index, key_expr in enumerate(build_keys):
                 value = key_expr(ctx)
@@ -191,7 +193,9 @@ class HashJoinState(FromNodeState):
         vector = self.vector
         slot_ids = self._build_slot_ids
         residual = plan.residual
+        cancel = self.rt.cancel
         while True:
+            cancel.check()
             matches = self._matches
             if matches is not None:
                 while self._match_pos < len(matches):

@@ -151,7 +151,9 @@ class MergeJoinState(FromNodeState):
         vector = self.vector
         slot_ids = self._right_slot_ids
         residual = plan.residual
+        cancel = self.rt.cancel
         while True:
+            cancel.check()
             # Replay the buffered right group for the current left row.
             group = self._group
             if group is not None:

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from ...faults import FAULTS
 from ..errors import ExecutionError, PlanError
 from ..profiler import (RECURSION_DEDUP_DROPPED, TRAMPOLINE_ITERATIONS,
                         TRAMPOLINE_WORKING_ROWS)
@@ -173,8 +174,12 @@ class CteRuntime:
             trace.extend(working)
         last_nonempty = working
         limit = self.rt.db.max_recursion_iterations
+        cancel = self.rt.cancel
         self.iterations = 0
         while working:
+            cancel.check()
+            if FAULTS.active:
+                FAULTS.fire("exec.recursion", profiler)
             self.iterations += 1
             if self.iterations > limit:
                 raise ExecutionError(

@@ -44,10 +44,17 @@ class SeqScanState(PlanState):
         self.pos = 0
 
     def next(self) -> Optional[tuple]:
-        if self.pos >= len(self.rows):
+        pos = self.pos
+        if pos >= len(self.rows):
             return None
-        row = self.rows[self.pos]
-        self.pos += 1
+        if not pos & 4095:
+            # Amortized cancellation poll: this is the hottest per-row
+            # loop in the engine, so the token is only consulted every
+            # 4096 rows (a runaway cross join still reacts in well under
+            # a millisecond of scan work).
+            self.rt.cancel.check()
+        row = self.rows[pos]
+        self.pos = pos + 1
         return row
 
 
@@ -273,6 +280,8 @@ class IndexRangeScanState(PlanState):
 
     def next(self) -> Optional[tuple]:
         while self.pos != self.stop:
+            if not self.pos & 4095:
+                self.rt.cancel.check()  # amortized, as in SeqScan
             version = self.rows[self.pos]
             self.pos += self.step
             if self.check and not self.snapshot.visible(version):

@@ -104,7 +104,9 @@ class TopNState(PlanState):
         # Drain the child completely, exactly as Sort would: expression
         # side effects and row counts stay identical to the sort path.
         child_next = self.child.next
+        cancel = self.rt.cancel
         while True:
+            cancel.check()
             row = child_next()
             if row is None:
                 break
@@ -319,7 +321,9 @@ class SelectCoreState(PlanState):
                 yield ctx
             return
         from_next = self.from_state.next
+        cancel = self.rt.cancel
         while from_next():
+            cancel.check()
             if where is None or where(ctx) is True:
                 yield ctx
 
@@ -336,7 +340,9 @@ class SelectCoreState(PlanState):
                 return None
             return self._project_current()
         from_next = self.from_state.next
+        cancel = self.rt.cancel
         while True:
+            cancel.check()
             if not from_next():
                 self.exhausted = True
                 return None

@@ -33,14 +33,25 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class RuntimeContext:
-    """Per-execution runtime services: database handle and parameters."""
+    """Per-execution runtime services: database handle and parameters.
 
-    __slots__ = ("db", "params", "depth")
+    ``cancel`` snapshots the statement's cancellation token (see
+    :mod:`repro.sql.cancel`) at instantiation time so executor hot loops
+    can poll it with two attribute loads; outside any statement it falls
+    back to a token nothing ever trips.
+    """
+
+    __slots__ = ("db", "params", "depth", "cancel")
 
     def __init__(self, db: "Database", params: Sequence[Value] = ()):
         self.db = db
         self.params = tuple(params)
         self.depth = 0
+        cancel = getattr(db, "_active_cancel", None)
+        if cancel is None:
+            from .cancel import NEVER_CANCELED
+            cancel = NEVER_CANCELED
+        self.cancel = cancel
 
     @property
     def rng(self):

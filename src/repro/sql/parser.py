@@ -93,6 +93,9 @@ class SqlParser:
             ts.advance()
             ts.accept_keyword("savepoint")
             return A.ReleaseStmt(ts.expect_ident("savepoint name"))
+        if ts.at_keyword("checkpoint"):
+            ts.advance()
+            return A.CheckpointStmt()
         token = ts.peek()
         raise ParseError(f"unexpected start of statement: {token}",
                          token.line, token.column)

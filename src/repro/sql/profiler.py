@@ -111,6 +111,14 @@ SERVER_IDLE_CLOSED = "server idle timeouts"
 SERVER_QUERIES = "server queries"
 SERVER_ERRORS = "server query errors"
 SERVER_SLOW_QUERIES = "server slow queries"
+#: Resource governance: statements killed by the cooperative cancel token
+#: (wire CancelRequest, statement_timeout, interpreter budget), WAL logs
+#: compacted to a snapshot prefix (CHECKPOINT or the auto-checkpoint
+#: threshold), and fault-point firings from the deterministic injection
+#: registry (:mod:`repro.faults`).
+QUERIES_CANCELED = "queries canceled"
+WAL_CHECKPOINTS = "wal checkpoints"
+FAULTS_INJECTED = "faults injected"
 
 
 class Profiler:

@@ -54,6 +54,7 @@ from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 from . import ast as A
 from .astutil import statement_param_count
+from .cancel import CancelToken
 from .errors import CatalogError, ExecutionError, PlanError
 from .profiler import PLAN, PREPARED_REPLANS
 
@@ -183,6 +184,10 @@ class Connection:
         #: The open explicit transaction (set by BEGIN, cleared by
         #: COMMIT/ROLLBACK).  Autocommit statements never land here.
         self._txn = None
+        #: Cancellation flag for whatever statement this session is
+        #: running: armed per statement by the engine's ``_TxnScope``,
+        #: tripped cross-thread by the wire server's CancelRequest path.
+        self.cancel = CancelToken()
         self._active_depth = 0
         self._saved: dict[str, object] = {}
         self._saved_notices: Optional[list[str]] = None

@@ -192,6 +192,14 @@ def _default_settings() -> list[Setting]:
                 minimum=0),
         Setting("plan_cache_enabled", "db", "plan_cache_enabled", "bool",
                 False, "Master switch for the statement plan cache."),
+        Setting("statement_timeout", "db", "statement_timeout", "int", False,
+                "Cancel any statement running longer than this many "
+                "milliseconds (0 disables the timeout).", minimum=0),
+        Setting("wal_checkpoint_interval", "db", "wal_checkpoint_interval",
+                "int", False,
+                "Auto-checkpoint the WAL after this many appended records "
+                "(0 disables auto-checkpointing; CHECKPOINT always works).",
+                minimum=0),
     ])
     return settings
 

@@ -31,26 +31,46 @@ end, so sorted and hash indexes — including ones a replayed
 ``CREATE INDEX`` declared — are rebuilt consistently by the ordinary
 ``insert_many`` maintenance path.
 
-There is no checkpointing: the log grows for the lifetime of the file
-and every open replays it from the start.  Compiled functions registered
-programmatically (``register_compiled_function``) are not logged — they
-live in Python objects, not SQL text — and must be re-registered after a
-durable reopen.
+Checkpointing (:meth:`WalManager.checkpoint`) keeps replay O(live data):
+it serializes the committed state — catalog DDL plus every visible row,
+under the frozen pseudo-xid with one commit marker — into a temp file,
+fsyncs it, and atomically renames it over the live log.  The snapshot is
+an ordinary log prefix, so replay needs no special cases; a crash at any
+step leaves either the complete old log or the complete new one (the
+fault points ``wal.checkpoint.*`` let the recovery suite prove that).
+Checkpoints run only while no write transaction is in flight — DDL and
+row versions of an uncommitted transaction are already applied to the
+in-memory catalog/heap, and a snapshot taken mid-flight would promote
+them to committed.  The ``CHECKPOINT`` statement triggers one on demand;
+``wal_checkpoint_interval`` auto-triggers after that many appended
+records, deferring while transactions are open.  Compiled functions
+registered programmatically (``register_compiled_function``) are not
+logged or checkpointed — they live in Python objects, not SQL text — and
+must be re-registered after a durable reopen.
 
-Fault injection for the crash-recovery suite: set ``REPRO_WAL_FAULT`` to
-``crash:N`` (hard-exit immediately after appending the N-th record) or
-``torn:N`` (write half of the N-th record with no newline, then
-hard-exit) before opening the database.
+Fault injection: the ``wal.append`` and ``wal.checkpoint.*`` points of
+:data:`repro.faults.FAULTS` cover this module.  The legacy
+``REPRO_WAL_FAULT=crash:N|torn:N`` environment hook still works — it is
+mapped onto the ``wal.append`` point at open (crash: hard-exit right
+after appending the N-th record; torn: write half of the N-th record
+with no newline, then hard-exit).
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
 from typing import Optional
 
-from .profiler import WAL_RECORDS, WAL_REPLAYED
+from ..faults import FAULTS, FaultInjectedError
+from .profiler import WAL_CHECKPOINTS, WAL_RECORDS, WAL_REPLAYED
 from .values import Row, Value
+
+#: Pseudo-xid for checkpoint snapshot records: FROZEN_XID — replayed rows
+#: bulk-load outside any transaction and freeze anyway, and no real
+#: transaction ever takes xid 1, so its commit marker cannot collide.
+CHECKPOINT_XID = 1
 
 
 def encode_value(value: Value):
@@ -87,18 +107,30 @@ class WalManager:
         self.db = db
         self.path = path
         self.profiler = db.profiler
-        self._fault_kind: Optional[str] = None
-        self._fault_at = 0
         fault = os.environ.get("REPRO_WAL_FAULT")
         if fault:
             kind, _, at = fault.partition(":")
             if kind in ("crash", "torn") and at.isdigit():
-                self._fault_kind, self._fault_at = kind, int(at)
-        self._appended = 0
+                # Legacy hook, kept for the recovery suite: mapped onto
+                # the generalized fault registry's wal.append point.
+                FAULTS.arm("wal.append", kind, int(at))
+        #: Records appended since the last checkpoint (or since open,
+        #: seeded with the replayed backlog so a long-lived log compacts
+        #: on the first eligible commit after reopening).
+        self._since_checkpoint = 0
+        #: Set when an auto-checkpoint failed (the commit that triggered
+        #: it still succeeded; the old log stays authoritative).
+        self.last_checkpoint_error: Optional[Exception] = None
+        tmp = path + ".ckpt"
+        if os.path.exists(tmp):
+            # A crash mid-checkpoint left a partial snapshot behind; the
+            # live log is still authoritative.
+            os.remove(tmp)
         if os.path.exists(path):
             replayed = self.replay()
             if replayed and self.profiler is not None:
                 self.profiler.bump(WAL_REPLAYED, replayed)
+            self._since_checkpoint = replayed
         self._fh = open(path, "a", encoding="utf-8")
 
     # -- record builders (storage calls these while buffering) ---------
@@ -127,15 +159,19 @@ class WalManager:
             self.profiler.bump(WAL_RECORDS, len(records) + 1)
 
     def _append(self, line: str) -> None:
-        n = self._appended + 1
-        if self._fault_kind == "torn" and n == self._fault_at:
+        trigger = FAULTS.check("wal.append", self.profiler)
+        if trigger is not None and trigger.kind == "torn":
             self._fh.write(line[:max(1, len(line) // 2)])
             self._fh.flush()
             os.fsync(self._fh.fileno())
             os._exit(1)
+        if trigger is not None and trigger.kind == "delay":
+            time.sleep(trigger.delay_s)
+        elif trigger is not None and trigger.kind == "error-once":
+            raise FaultInjectedError("wal.append")
         self._fh.write(line + "\n")
-        self._appended = n
-        if self._fault_kind == "crash" and n == self._fault_at:
+        self._since_checkpoint += 1
+        if trigger is not None and trigger.kind == "crash":
             self._fh.flush()
             os.fsync(self._fh.fileno())
             os._exit(1)
@@ -144,6 +180,113 @@ class WalManager:
         if self._fh is not None:
             self._fh.close()
             self._fh = None
+
+    # -- checkpointing -------------------------------------------------
+
+    def snapshot_records(self) -> list[str]:
+        """Serialize the committed state as an ordinary log prefix.
+
+        DDL first (types before functions, tables before their rows and
+        indexes), then every row version visible to a fresh snapshot
+        (keeping its real rid, so records appended later keep naming the
+        rows they touch), then one commit marker for the pseudo-xid.
+        Caller must ensure no write transaction is in flight.
+        """
+        db = self.db
+        catalog = db.catalog
+        x = CHECKPOINT_XID
+        lines: list[str] = []
+
+        def ddl(op: list) -> None:
+            lines.append(_dumps({"t": "ddl", "x": x, "op": op}))
+
+        for ctype in catalog.composite_types.values():
+            ddl(["create_type", ctype.name, list(ctype.field_names),
+                 list(ctype.field_types)])
+        for fdef in catalog.functions.values():
+            if fdef.kind in ("sql", "plpgsql"):
+                ddl(["create_function",
+                     {"name": fdef.name, "kind": fdef.kind,
+                      "params": list(fdef.param_names),
+                      "types": list(fdef.param_types),
+                      "ret": fdef.return_type, "body": fdef.body}])
+        snapshot = db.txnman.instant_snapshot()
+        for table in catalog.tables.values():
+            ddl(["create_table", table.name, list(table.column_names),
+                 list(table.column_types)])
+            for version in table._versions:
+                if snapshot.visible(version):
+                    lines.append(_dumps(self.insert_record(
+                        x, table.name, version.rid, version.data)))
+        for index_def in catalog.indexes.values():
+            ddl(["create_index", index_def.name, index_def.table,
+                 [[name, bool(desc)] for name, desc
+                  in zip(index_def.column_names, index_def.descending)]])
+        lines.append(_dumps({"t": "commit", "x": x}))
+        return lines
+
+    def checkpoint(self) -> int:
+        """Compact the log to a snapshot prefix; returns records written.
+
+        Crash-safe at every step: the snapshot goes to a temp file that
+        is fsynced before an atomic rename replaces the live log, so a
+        crash leaves either the old complete log (before the rename) or
+        the new complete one (after) — never a mixture.  Must run under
+        the execution lock with no write transaction in flight (the
+        dispatch layer guarantees both).
+        """
+        profiler = self.profiler
+        FAULTS.fire("wal.checkpoint.start", profiler)
+        lines = self.snapshot_records()
+        tmp = self.path + ".ckpt"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for line in lines:
+                FAULTS.fire("wal.checkpoint.write", profiler)
+                fh.write(line + "\n")
+            FAULTS.fire("wal.checkpoint.fsync", profiler)
+            fh.flush()
+            os.fsync(fh.fileno())
+        FAULTS.fire("wal.checkpoint.rename", profiler)
+        # Everything appended so far must be on disk in the *old* log
+        # before it stops being the recovery source.
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self._fh.close()
+        self._fh = None
+        try:
+            os.rename(tmp, self.path)
+            FAULTS.fire("wal.checkpoint.reopen", profiler)
+        finally:
+            # Reopen whichever file now lives at the path — the new log
+            # after a successful rename, the old one if it failed — so
+            # an injected error leaves the manager appendable.
+            self._fh = open(self.path, "a", encoding="utf-8")
+        self._since_checkpoint = 0
+        if profiler is not None:
+            profiler.bump(WAL_CHECKPOINTS)
+        return len(lines)
+
+    def maybe_checkpoint(self) -> bool:
+        """Auto-checkpoint once the appended-record threshold is crossed.
+
+        Runs only when nothing is in flight (no active write xids, no
+        current statement transaction) — otherwise it stays pending and
+        the next eligible commit retries.  A failing checkpoint never
+        fails the commit that triggered it: the old log is still intact
+        and authoritative, so the error is recorded and swallowed.
+        """
+        interval = getattr(self.db, "wal_checkpoint_interval", 0)
+        if not interval or self._since_checkpoint < interval:
+            return False
+        txnman = self.db.txnman
+        if txnman.active_xids or txnman.current is not None:
+            return False
+        try:
+            self.checkpoint()
+        except Exception as error:  # noqa: BLE001 — commit must survive
+            self.last_checkpoint_error = error
+            return False
+        return True
 
     # -- replay --------------------------------------------------------
 

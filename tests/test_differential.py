@@ -37,7 +37,7 @@ import pytest
 from repro.compiler import compile_plsql
 from repro.fuzz.oracle import rows_equal
 from repro.sql import Database
-from repro.sql.errors import ExecutionError, ParseError
+from repro.sql.errors import ExecutionError, ParseError, QueryCanceledError
 
 
 # ---------------------------------------------------------------------------
@@ -476,14 +476,16 @@ class TestStatementBudget:
     def test_nonterminating_loop_raises_instead_of_hanging(self, db):
         db.execute(DIVERGING)
         db.max_interp_statements = 10_000
-        with pytest.raises(ExecutionError, match="diverge"):
+        # Budget exhaustion classifies with cancellation (SQLSTATE 57014).
+        with pytest.raises(QueryCanceledError, match="diverge"):
             # Collatz from 0 loops 0 -> 0 forever.
             db.query_value("SELECT diverge(0)")
 
     def test_error_names_the_limit(self, db):
         db.execute(DIVERGING)
         db.max_interp_statements = 5_000
-        with pytest.raises(ExecutionError, match="max_interp_statements=5000"):
+        with pytest.raises(QueryCanceledError,
+                           match="max_interp_statements=5000"):
             db.query_value("SELECT diverge(0)")
 
     def test_terminating_calls_unaffected(self, db):
@@ -505,7 +507,7 @@ class TestStatementBudget:
               RETURN 0;
             END; $$ LANGUAGE plpgsql""")
         db.max_interp_statements = 1_000
-        with pytest.raises(ExecutionError, match="spin"):
+        with pytest.raises(QueryCanceledError, match="spin"):
             db.query_value("SELECT spin()")
 
 

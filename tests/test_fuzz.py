@@ -475,3 +475,51 @@ class TestWireFuzz:
                 assert all(p.kind == "result" for p in problems)
                 return
         raise AssertionError("no case produced rows to diverge on")
+
+
+# ---------------------------------------------------------------------------
+# The chaos axis (fault injection under the durability oracle)
+# ---------------------------------------------------------------------------
+
+
+class TestChaosFuzz:
+    def test_smoke_run_is_clean(self):
+        """Tier-1 smoke: ~30 durable-vs-memory twin cases with injected
+        checkpoint failures, reopened and compared (CI runs the
+        rotating-seed 200-case version)."""
+        from repro.fuzz.__main__ import run_chaos_fuzz
+        assert run_chaos_fuzz(seed=0, cases=30, verbose=False) == 0
+
+    def test_checker_catches_replay_divergence(self, monkeypatch):
+        """Sanity that the chaos oracle can fail: drop a row from every
+        replay and the reopen comparison must report it."""
+        from repro.fuzz import chaos as chaos_module
+        from repro.fuzz.querygen import generate_case
+        from repro.sql.wal import WalManager
+        real = WalManager.replay
+
+        def lossy(self):
+            applied = real(self)
+            for table in self.db.catalog.tables.values():
+                if table._versions:
+                    table._versions.pop()
+                    break
+            return applied
+
+        monkeypatch.setattr(WalManager, "replay", lossy)
+        for index in range(10):  # first case with any table data
+            problems = chaos_module.check_chaos_case(generate_case(0, index))
+            if problems:
+                assert problems[0].kind in ("reopen", "query")
+                return
+        raise AssertionError("no case had data to lose on replay")
+
+    def test_faults_left_disarmed(self):
+        """A chaos case must never leak an armed trigger into the
+        process-wide registry (tier-1 tests share it)."""
+        from repro.faults import FAULTS
+        from repro.fuzz.chaos import check_chaos_case
+        from repro.fuzz.querygen import generate_case
+        for index in range(5):
+            check_chaos_case(generate_case(3, index))
+        assert not FAULTS.active

@@ -34,10 +34,22 @@ CHILD = os.path.join(os.path.dirname(__file__), "recovery_child.py")
 SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
 
 
-def run_child(path: str, fault: str) -> list[int]:
-    """Run the child under *fault*; return the acknowledged ks."""
+def run_child(path: str, fault: str = "", faults: str = "",
+              checkpoint_after: int = 0) -> list[int]:
+    """Run the child under a fault; return the acknowledged ks.
+
+    *fault* uses the legacy ``REPRO_WAL_FAULT=kind:N`` hook; *faults*
+    the generalized ``REPRO_FAULTS=point:kind:N`` registry spec.
+    """
     env = dict(os.environ)
-    env["REPRO_WAL_FAULT"] = fault
+    env.pop("REPRO_WAL_FAULT", None)
+    env.pop("REPRO_FAULTS", None)
+    if fault:
+        env["REPRO_WAL_FAULT"] = fault
+    if faults:
+        env["REPRO_FAULTS"] = faults
+    if checkpoint_after:
+        env["REPRO_CHILD_CHECKPOINT"] = str(checkpoint_after)
     env["PYTHONPATH"] = os.path.abspath(SRC)
     proc = subprocess.run([sys.executable, CHILD, path],
                           capture_output=True, text=True, env=env,
@@ -110,6 +122,59 @@ def test_unfaulted_child_then_recover(tmp_path):
     assert db.execute("SELECT sum(b) FROM t WHERE a < 100").scalar() == \
         sum(k * 10 for k in range(1, 9))
     db.wal.close()
+
+
+# ---------------------------------------------------------------------------
+# Crashes inside the checkpoint path (wal.checkpoint.* fault points)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("faults", [
+    "wal.checkpoint.start:crash:1",    # before the snapshot scan
+    "wal.checkpoint.write:crash:1",    # empty temp file left behind
+    "wal.checkpoint.write:crash:5",    # partial temp file left behind
+    "wal.checkpoint.fsync:crash:1",    # complete but un-fsynced temp file
+    "wal.checkpoint.rename:crash:1",   # complete temp file, old log live
+    "wal.checkpoint.reopen:crash:1",   # rename done: snapshot is the log
+])
+def test_crash_during_checkpoint_recovers(tmp_path, faults):
+    """A crash at any step of CHECKPOINT leaves either the complete old
+    log or the complete new snapshot — recovery sees every acknowledged
+    transaction either way, and a leftover ``.ckpt`` temp file never
+    shadows the live log."""
+    path = str(tmp_path / "ckpt.wal")
+    acked = run_child(path, faults=faults, checkpoint_after=4)
+    assert acked == [1, 2, 3, 4]  # died inside the checkpoint, after 4
+    check_recovered(path, acked)
+    assert not os.path.exists(path + ".ckpt")  # reopen cleaned it up
+
+
+def test_crash_after_checkpoint_keeps_compacting_log(tmp_path):
+    """Checkpoint completes, later append crashes: replay goes through
+    the snapshot prefix plus the post-checkpoint suffix."""
+    path = str(tmp_path / "after.wal")
+    # The fault counts appends, and the snapshot writes bypass _append:
+    # DDL is records 1-4, txns 1-5 are 5-19, so 20 is txn 6's first
+    # insert — appended to the compacted log the checkpoint left behind.
+    acked = run_child(path, fault="crash:20", checkpoint_after=4)
+    assert acked == [1, 2, 3, 4, 5]
+    check_recovered(path, acked)
+
+
+def test_checkpointed_child_then_recover(tmp_path):
+    """No fault: CHECKPOINT mid-run compacts and all 8 transactions
+    survive a reopen (the snapshot is an ordinary replayable prefix)."""
+    env = dict(os.environ)
+    env.pop("REPRO_WAL_FAULT", None)
+    env.pop("REPRO_FAULTS", None)
+    env["REPRO_CHILD_CHECKPOINT"] = "4"
+    env["PYTHONPATH"] = os.path.abspath(SRC)
+    path = str(tmp_path / "ckpt-clean.wal")
+    proc = subprocess.run([sys.executable, CHILD, path],
+                          capture_output=True, text=True, env=env,
+                          timeout=120)
+    assert proc.returncode == 0, proc.stderr
+    assert "CHECKPOINTED" in proc.stdout
+    check_recovered(path, list(range(1, 9)))
 
 
 def test_double_crash_recovery(tmp_path):
