@@ -1,0 +1,161 @@
+"""Control-flow diagnostics over the analysis-mode CFG.
+
+Reuses the compiler's own lowering (:func:`repro.compiler.cfg.build_cfg`
+with ``for_analysis=True``) so the analyzer reasons about exactly the
+control flow the execution engines see — the paper's "one IR, many
+consumers" dividend.  Passes:
+
+* **reachability** — forward DFS from the entry block; statements in
+  unreachable blocks are dead code (CF001).
+* **fall-off-the-end** — the builder plants a synthetic
+  ``Return(__no_return(...))`` on the fall-off edge.  If that exit is
+  reachable the function can terminate without RETURN: an *error* (CF002)
+  when it is the **only** reachable way out (every call that terminates
+  fails), a *warning* (CF003) when some paths do return.
+* **likely-infinite loops** (CF004) — a strongly connected component of
+  the reachable CFG with no edge leaving it and no raising exit inside
+  can only run forever (or exhaust the interpreter's statement budget).
+  This one is precise on the CFG but still a warning: the budget turns
+  it into a runtime error, not silent non-termination.
+"""
+
+from __future__ import annotations
+
+from ..compiler.cfg import ControlFlowGraph, Return
+from .diagnostics import DiagnosticSink
+
+
+def reachable_blocks(cfg: ControlFlowGraph) -> set[int]:
+    seen: set[int] = set()
+    stack = [cfg.entry]
+    while stack:
+        bid = stack.pop()
+        if bid in seen:
+            continue
+        seen.add(bid)
+        stack.extend(cfg.blocks[bid].successors())
+    return seen
+
+
+def exit_blocks(cfg: ControlFlowGraph, reachable: set[int]) -> set[int]:
+    """Reachable blocks whose terminator leaves the function."""
+    return {bid for bid in reachable
+            if isinstance(cfg.blocks[bid].terminator, Return)}
+
+
+def _first_line(block) -> int | None:
+    for stmt in block.stmts:
+        if stmt.line is not None:
+            return stmt.line
+    return getattr(block.terminator, "line", None)
+
+
+def _sccs(nodes: set[int], successors) -> list[list[int]]:
+    """Tarjan's algorithm, iterative, restricted to *nodes*."""
+    index: dict[int, int] = {}
+    low: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[int] = []
+    out: list[list[int]] = []
+    counter = [0]
+
+    for root in sorted(nodes):
+        if root in index:
+            continue
+        work = [(root, iter([s for s in successors(root) if s in nodes]))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in index:
+                    index[succ] = low[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append(
+                        (succ, iter([s for s in successors(succ)
+                                     if s in nodes])))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                out.append(component)
+    return out
+
+
+def check_control_flow(cfg: ControlFlowGraph, sink: DiagnosticSink) -> None:
+    reachable = reachable_blocks(cfg)
+
+    # CF001: unreachable statements.  One diagnostic per dead block that
+    # carries programmer code (synthetic fall-off blocks with no source
+    # statements are lowering artefacts, not user mistakes).
+    for bid in cfg.block_ids():
+        if bid in reachable:
+            continue
+        block = cfg.blocks[bid]
+        real = [s for s in block.stmts if not s.implicit]
+        terminator = block.terminator
+        real_return = (isinstance(terminator, Return)
+                       and not terminator.synthetic)
+        if real or real_return:
+            line = _first_line(block)
+            sink.add("CF001", "unreachable statement", line=line)
+
+    # CF002 / CF003: reachable synthetic fall-off exits.
+    exits = exit_blocks(cfg, reachable)
+    fall_off = [bid for bid in exits
+                if cfg.blocks[bid].terminator.synthetic]
+    returning = [bid for bid in exits
+                 if not cfg.blocks[bid].terminator.synthetic]
+    if fall_off:
+        line = min((_first_line(cfg.blocks[bid]) or 10 ** 9
+                    for bid in fall_off), default=None)
+        line = None if line == 10 ** 9 else line
+        if not returning:
+            sink.add("CF002",
+                     "control cannot reach RETURN on any path; every "
+                     "terminating call raises \"control reached end of "
+                     "function without RETURN\"", line=line)
+        else:
+            sink.add("CF003",
+                     "control may fall off the end of the function "
+                     "without RETURN", line=line)
+
+    # CF004: reachable loop (non-trivial SCC) with no way out.
+    def successors(bid: int) -> list[int]:
+        return cfg.blocks[bid].successors()
+
+    for component in _sccs(reachable, successors):
+        members = set(component)
+        if len(component) == 1 and component[0] not in successors(component[0]):
+            continue  # trivial SCC, not a loop
+        # A Return terminator has no successors, so a block that exits the
+        # function can never sit inside a non-trivial SCC: "no edge leaves
+        # the component" already implies "no RETURN/RAISE inside".
+        leaves = any(succ not in members
+                     for bid in members for succ in successors(bid))
+        if not leaves:
+            line = min((_first_line(cfg.blocks[bid]) or 10 ** 9
+                        for bid in members), default=None)
+            line = None if line == 10 ** 9 else line
+            sink.add("CF004",
+                     "loop has no reachable EXIT or RETURN and runs "
+                     "forever", line=line)

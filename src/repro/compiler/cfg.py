@@ -37,6 +37,17 @@ class CfgAssign:
 
     target: str
     expr: A.Expr
+    #: Source line of the originating statement (None for synthesised code);
+    #: carried for the static analyzer's diagnostics, ignored by codegen.
+    line: Optional[int] = None
+    #: True for the builder's default-less declaration initialisers
+    #: (``name <- NULL``): real to codegen, but not a *programmer* write —
+    #: the analyzer's def-use passes skip them.
+    implicit: bool = False
+    #: True for any declaration initialiser, explicit default included.
+    #: The dead-store pass exempts these: ``x int := 0`` followed by an
+    #: unconditional reassignment is a defensive idiom, not a bug.
+    decl: bool = False
 
 
 class Terminator:
@@ -53,11 +64,19 @@ class CondGoto(Terminator):
     condition: A.Expr
     then_target: int
     else_target: int
+    line: Optional[int] = None
 
 
 @dataclass
 class Return(Terminator):
     expr: A.Expr
+    #: True for the builder's fall-off-the-end return (no RETURN statement
+    #: in the source reached this point).
+    synthetic: bool = False
+    #: True when this exit models RAISE EXCEPTION (analysis mode only) —
+    #: a legitimate way to leave the function without returning a value.
+    raises: bool = False
+    line: Optional[int] = None
 
 
 @dataclass
@@ -137,15 +156,24 @@ class _LoopContext:
 
 
 class CfgBuilder:
-    """Lowers one :class:`~repro.plsql.ast.PlsqlFunctionDef` to a CFG."""
+    """Lowers one :class:`~repro.plsql.ast.PlsqlFunctionDef` to a CFG.
 
-    def __init__(self, func: P.PlsqlFunctionDef):
+    With ``for_analysis=True`` the builder lowers interpreter-only
+    constructs too, so the static analyzer can see every function: RAISE
+    EXCEPTION becomes a ``Return(raises=True)`` exit and ``FOR ... IN
+    <query>`` becomes a loop with an opaque condition.  Such CFGs are for
+    inspection only — never feed them to the SSA/codegen pipeline.
+    """
+
+    def __init__(self, func: P.PlsqlFunctionDef, for_analysis: bool = False):
         self.func = func
+        self.for_analysis = for_analysis
         self.blocks: dict[int, BasicBlock] = {}
         self.loops: list[_LoopContext] = []
         self.var_types: dict[str, str] = {}
         self._temp_counter = 0
         self._current: Optional[BasicBlock] = None
+        self._line: Optional[int] = None
 
     # -- block helpers -----------------------------------------------------
 
@@ -157,13 +185,19 @@ class CfgBuilder:
     def switch_to(self, block: BasicBlock) -> None:
         self._current = block
 
-    def emit(self, target: str, expr: A.Expr) -> None:
+    def emit(self, target: str, expr: A.Expr,
+             implicit: bool = False, decl: bool = False) -> None:
         assert self._current is not None and self._current.terminator is None
-        self._current.stmts.append(CfgAssign(target.lower(), expr))
+        self._current.stmts.append(CfgAssign(target.lower(), expr,
+                                             line=self._line,
+                                             implicit=implicit,
+                                             decl=decl))
 
     def terminate(self, terminator: Terminator) -> None:
         assert self._current is not None
         if self._current.terminator is None:
+            if getattr(terminator, "line", "absent") is None:
+                terminator.line = self._line
             self._current.terminator = terminator
 
     def _ensure_open(self) -> None:
@@ -188,13 +222,15 @@ class CfgBuilder:
         self.switch_to(entry)
         self._declare_all(func.declarations)
         self.lower_statements(func.body)
-        # Falling off the end: PostgreSQL raises at run time; compiled code
-        # returns NULL (documented deviation — unreachable for functions that
-        # always RETURN).
-        self.terminate(Return(A.Literal(None)))
+        # Falling off the end raises at run time, matching PostgreSQL
+        # (SQLSTATE 2F005): the synthetic terminator calls the raising
+        # __no_return builtin.  Unreachable for functions that always
+        # RETURN — SSA drops the dead blocks and nothing changes for them.
+        self._line = None
+        self.terminate(self._fall_off_return())
         for block in self.blocks.values():
             if block.terminator is None:
-                block.terminator = Return(A.Literal(None))
+                block.terminator = self._fall_off_return()
         return ControlFlowGraph(
             func_name=func.name,
             params=[p.lower() for p in func.param_names],
@@ -205,6 +241,10 @@ class CfgBuilder:
             entry=entry.bid,
         )
 
+    def _fall_off_return(self) -> Return:
+        return Return(A.FuncCall("__no_return", [A.Literal(self.func.name)]),
+                      synthetic=True)
+
     def _declare_all(self, declarations: list[P.Declaration]) -> None:
         for declaration in declarations:
             name = declaration.name.lower()
@@ -213,7 +253,9 @@ class CfgBuilder:
             self.var_types[name] = declaration.type_name
             default = declaration.default if declaration.default is not None \
                 else A.Literal(None)
-            self.emit(name, default)
+            self._line = declaration.line
+            self.emit(name, default, implicit=declaration.default is None,
+                      decl=True)
 
     # -- statements ----------------------------------------------------------
 
@@ -228,12 +270,17 @@ class CfgBuilder:
             raise CompileError(
                 f"cannot compile statement {type(stmt).__name__} "
                 "(interpreter-only construct)")
+        self._line = stmt.line
         method(stmt)
 
     def _lower_Assign(self, stmt: P.Assign) -> None:
         if stmt.target not in self.var_types:
-            raise CompileError(f"assignment to undeclared variable "
-                               f"{stmt.target!r}")
+            if not self.for_analysis:
+                raise CompileError(f"assignment to undeclared variable "
+                                   f"{stmt.target!r}")
+            # Analysis mode keeps lowering; the analyzer reports the
+            # undeclared target as its own diagnostic.
+            self.var_types[stmt.target.lower()] = "unknown"
         self.emit(stmt.target, stmt.expr)
 
     def _lower_NullStmt(self, stmt: P.NullStmt) -> None:
@@ -380,7 +427,8 @@ class CfgBuilder:
             self.var_types.setdefault(name, declaration.type_name)
             default = declaration.default if declaration.default is not None \
                 else A.Literal(None)
-            self.emit(name, default)
+            self.emit(name, default, implicit=declaration.default is None,
+                      decl=True)
         self.loops.append(_LoopContext(stmt.label, exit_block.bid, None,
                                        is_loop=False))
         self.lower_statements(stmt.body)
@@ -398,15 +446,39 @@ class CfgBuilder:
 
     def _lower_RaiseStmt(self, stmt: P.RaiseStmt) -> None:
         if stmt.level == "exception":
-            raise CompileError("RAISE EXCEPTION cannot be compiled to SQL")
+            if not self.for_analysis:
+                raise CompileError("RAISE EXCEPTION cannot be compiled to SQL")
+            # A legitimate non-RETURN exit for control-flow analysis.
+            self.terminate(Return(A.Literal(None), raises=True))
         # NOTICE/WARNING/INFO have no effect on the function's value; drop.
 
     def _lower_ForQueryStmt(self, stmt: P.ForQueryStmt) -> None:
-        raise CompileError(
-            "FOR ... IN <query> LOOP is not supported by the compiler "
-            "(cursor iteration); rewrite using set-oriented SQL")
+        if not self.for_analysis:
+            raise CompileError(
+                "FOR ... IN <query> LOOP is not supported by the compiler "
+                "(cursor iteration); rewrite using set-oriented SQL")
+        # Model the cursor loop as: var <- <query>; while <opaque> loop.
+        # The query rides along as the loop condition so the analyzer's
+        # SQL checks and volatility inference still see it.
+        var = stmt.var.lower()
+        self.var_types.setdefault(var, "record")
+        header = self.new_block()
+        body_block = self.new_block()
+        exit_block = self.new_block()
+        self.terminate(Goto(header.bid))
+        self.switch_to(header)
+        self.terminate(CondGoto(A.ScalarSubquery(stmt.query),
+                                body_block.bid, exit_block.bid))
+        self.switch_to(body_block)
+        self.emit(var, A.ScalarSubquery(stmt.query))
+        self.loops.append(_LoopContext(stmt.label, exit_block.bid, header.bid))
+        self.lower_statements(stmt.body)
+        self.terminate(Goto(header.bid))
+        self.loops.pop()
+        self.switch_to(exit_block)
 
 
-def build_cfg(func: P.PlsqlFunctionDef) -> ControlFlowGraph:
+def build_cfg(func: P.PlsqlFunctionDef,
+              for_analysis: bool = False) -> ControlFlowGraph:
     """Lower *func* to its goto-based control-flow graph."""
-    return CfgBuilder(func).build()
+    return CfgBuilder(func, for_analysis=for_analysis).build()

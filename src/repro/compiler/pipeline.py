@@ -128,7 +128,7 @@ class CompiledFunction:
             name or self.name, self.param_names, self.param_types,
             self.return_type, self.query,
             batched_query=batched_query, batch_columns=batch_columns,
-            batch_machine=batch_machine)
+            batch_machine=batch_machine, source=self.source)
 
     def register_udf_form(self, db, name: Optional[str] = None) -> str:
         """Register the *UDF intermediate form* (wrapper + recursive worker)

@@ -15,10 +15,10 @@ import sys
 import time
 from pathlib import Path
 
-from repro.sql.profiler import (FUZZ_CASES, FUZZ_COMPARISONS,
-                                FUZZ_DIALECT_EXPLAINED, FUZZ_DISCREPANCIES,
-                                FUZZ_EXECUTIONS, FUZZ_SQLITE_CHECKS,
-                                Profiler)
+from repro.sql.profiler import (FUZZ_ANALYZER_CHECKS, FUZZ_CASES,
+                                FUZZ_COMPARISONS, FUZZ_DIALECT_EXPLAINED,
+                                FUZZ_DISCREPANCIES, FUZZ_EXECUTIONS,
+                                FUZZ_SQLITE_CHECKS, Profiler)
 
 from .chaos import check_chaos_case
 from .oracle import DifferentialChecker, check_txn_case
@@ -92,6 +92,8 @@ def run_fuzz(seed: int = 0, cases: int = 200, *, use_sqlite: bool = True,
               f"{counts[FUZZ_COMPARISONS]} comparisons, "
               f"{counts[FUZZ_SQLITE_CHECKS]} sqlite cross-checks "
               f"({counts[FUZZ_DIALECT_EXPLAINED]} dialect diffs explained), "
+              f"{counts.get(FUZZ_ANALYZER_CHECKS, 0)} analyzer soundness "
+              f"checks, "
               f"{counts[FUZZ_DISCREPANCIES]} discrepancies, "
               f"{failures} failing cases "
               f"in {time.monotonic() - started:.1f}s")

@@ -37,9 +37,10 @@ from typing import Optional
 
 from repro.sql import Database
 from repro.sql.errors import CRASH, SqlError, error_class
-from repro.sql.profiler import (FUZZ_CASES, FUZZ_COMPARISONS,
-                                FUZZ_DIALECT_EXPLAINED, FUZZ_DISCREPANCIES,
-                                FUZZ_EXECUTIONS, FUZZ_SQLITE_CHECKS, Profiler)
+from repro.sql.profiler import (FUZZ_ANALYZER_CHECKS, FUZZ_CASES,
+                                FUZZ_COMPARISONS, FUZZ_DIALECT_EXPLAINED,
+                                FUZZ_DISCREPANCIES, FUZZ_EXECUTIONS,
+                                FUZZ_SQLITE_CHECKS, Profiler)
 from repro.sql.values import Row, row_sort_key
 
 from .datagen import data_sqlite_safe, value_sqlite_safe
@@ -172,7 +173,8 @@ def run_statement(db: Database, sql: str, params=()) -> Outcome:
 class Discrepancy:
     """One disagreement between two oracles on one statement."""
 
-    kind: str            # 'result' | 'status' | 'order' | 'crash' | 'sqlite'
+    kind: str            # 'result' | 'status' | 'order' | 'crash' |
+    #                      'sqlite' | 'analyzer-unsound' | 'analyzer-crash'
     case: Case
     query: Query
     sql: str
@@ -480,7 +482,66 @@ class DifferentialChecker:
                                baseline_label, "sqlite3", reference, lite)
         if sqlite_conn is not None:
             sqlite_conn.close()
+        discrepancies.extend(self._check_analyzer_soundness(
+            case, db, compiled, variants_per_query, outcomes,
+            baseline_label))
         return discrepancies
+
+    def _check_analyzer_soundness(self, case: Case, db: Database,
+                                  compiled: dict,
+                                  variants_per_query, outcomes,
+                                  baseline_label: str) -> list[Discrepancy]:
+        """The static analyzer's soundness oracle: a function that just
+        executed cleanly can never deserve an error-severity diagnostic
+        (errors are reserved for defects that fire on *every* terminating
+        call — see repro.analysis).  Any violation is a fuzz discrepancy
+        like a result mismatch would be."""
+        from repro.analysis import analyze_function
+
+        clean: dict[str, tuple] = {}  # fn name -> (query, sql, outcome)
+        for qi, (query, variants) in enumerate(
+                zip(case.queries, variants_per_query)):
+            if query.function is None:
+                continue
+            for label, sql in variants:
+                outcome = outcomes[qi][label].get(baseline_label)
+                if outcome is None or outcome.status != "ok":
+                    continue
+                name = (query.function if label == "interp"
+                        else compiled.get(query.function))
+                if name:
+                    clean.setdefault(name.lower(), (query, sql, outcome))
+
+        out: list[Discrepancy] = []
+        for name, (query, sql, outcome) in sorted(clean.items()):
+            fdef = db.catalog.get_function(name)
+            if fdef is None:
+                continue
+            self.profiler.bump(FUZZ_ANALYZER_CHECKS)
+            try:
+                diagnostics = analyze_function(db, fdef)
+            except Exception as error:  # noqa: BLE001 — crash = finding
+                self.profiler.bump(FUZZ_DISCREPANCIES)
+                out.append(Discrepancy(
+                    kind="analyzer-crash", case=case, query=query, sql=sql,
+                    config_a=baseline_label, config_b="analyzer",
+                    outcome_a=outcome,
+                    outcome_b=Outcome("error", error="crash",
+                                      message=f"{type(error).__name__}: "
+                                              f"{error}")))
+                continue
+            errors = [d for d in diagnostics if d.severity == "error"]
+            if errors:
+                self.profiler.bump(FUZZ_DISCREPANCIES)
+                detail = "; ".join(f"{d.code}: {d.message}" for d in errors)
+                out.append(Discrepancy(
+                    kind="analyzer-unsound", case=case, query=query,
+                    sql=sql, config_a=baseline_label, config_b="analyzer",
+                    outcome_a=outcome,
+                    outcome_b=Outcome("error", error="analyzer",
+                                      message=f"{name} executed cleanly "
+                                              f"but was flagged: {detail}")))
+        return out
 
 
 # ---------------------------------------------------------------------------

@@ -18,6 +18,10 @@ class Stmt:
     """Base class for PL/pgSQL statements."""
 
     __slots__ = ()
+    #: 1-based source line of the statement's first token; set by the parser
+    #: (class-level default so hand-built ASTs need not care).  Dataclass
+    #: subclasses carry ``__dict__``, so the parser assigns it per instance.
+    line: Optional[int] = None
 
 
 @dataclass
@@ -25,6 +29,7 @@ class Declaration:
     name: str
     type_name: str
     default: Optional[SA.Expr] = None
+    line: Optional[int] = None
 
 
 @dataclass

@@ -23,7 +23,8 @@ from ..sql import ast as SA
 from ..sql.astutil import walk_expr
 from ..sql.catalog import FunctionDef
 from ..sql.cancel import NEVER_CANCELED
-from ..sql.errors import PlsqlRuntimeError, QueryCanceledError
+from ..sql.errors import (NoReturnError, PlsqlRuntimeError,
+                          QueryCanceledError)
 from ..sql.expr import EvalContext, ExprCompiler, Relation, RuntimeContext, Scope
 from ..sql.executor.scan import make_slots
 from ..sql.profiler import (EXEC_END, EXEC_RUN, EXEC_START, INTERP, PLAN,
@@ -228,7 +229,7 @@ class Interpreter:
             self.exec_block(func.body)
         except _Return as signal:
             return self._coerce(signal.value, func.return_type)
-        raise PlsqlRuntimeError(
+        raise NoReturnError(
             f"control reached end of function {func.name}() without RETURN")
 
     def exec_block(self, statements: list[P.Stmt]) -> None:

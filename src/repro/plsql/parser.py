@@ -51,6 +51,7 @@ class PlsqlParser:
     def _parse_declarations(self) -> list[P.Declaration]:
         declarations = []
         while not self.ts.at_keyword("begin"):
+            line = self.ts.peek().line
             name = self.ts.expect_ident("variable name")
             type_name = self.sql._parse_type_name()
             default = None
@@ -59,7 +60,8 @@ class PlsqlParser:
             elif self.ts.accept_keyword("default"):
                 default = self.sql.parse_expression()
             self.ts.expect_op(";")
-            declarations.append(P.Declaration(name.lower(), type_name, default))
+            declarations.append(P.Declaration(name.lower(), type_name, default,
+                                              line=line))
         return declarations
 
     # ------------------------------------------------------------------
@@ -76,6 +78,12 @@ class PlsqlParser:
         return statements
 
     def _parse_statement(self) -> P.Stmt:
+        line = self.ts.peek().line
+        stmt = self._parse_statement_inner()
+        stmt.line = line
+        return stmt
+
+    def _parse_statement_inner(self) -> P.Stmt:
         ts = self.ts
         label = self._parse_label()
         if ts.at_keyword("if"):

@@ -75,6 +75,7 @@ SQLSTATE_FOR_LABEL = {
     "catalog": "42P01",
     "setting": "22023",
     "compile": "42P13",
+    "no-return": "2F005",
     "plsql-runtime": "P0001",
     "plsql": "P0000",
     "sql": "XX001",

@@ -422,6 +422,10 @@ class CreateFunction:
     language: str
     body: str
     replace: bool = False
+    #: Declared volatility class (``immutable``/``stable``/``volatile``),
+    #: or None when the declaration omitted it and the static analyzer's
+    #: inference is authoritative.
+    volatility: Optional[str] = None
 
 
 @dataclass
@@ -584,6 +588,15 @@ class ReleaseStmt:
 
 
 @dataclass
+class CheckFunctionStmt:
+    """``CHECK FUNCTION name | ALL`` — run the static analyzer
+    (:mod:`repro.analysis`) over one registered function (or every
+    user-defined one) and return its diagnostics as rows."""
+
+    name: Optional[str] = None  # None means ALL
+
+
+@dataclass
 class CheckpointStmt:
     """``CHECKPOINT`` — compact the WAL to a snapshot-prefixed log.
 
@@ -596,4 +609,4 @@ Statement = Union[SelectStmt, CreateTable, CreateType, CreateFunction,
                   DropFunction, DropIndex, PrepareStmt, ExecuteStmt,
                   DeallocateStmt, SetStmt, ShowStmt, ResetStmt, ExplainStmt,
                   BeginStmt, CommitStmt, RollbackStmt, SavepointStmt,
-                  ReleaseStmt, CheckpointStmt]
+                  ReleaseStmt, CheckpointStmt, CheckFunctionStmt]

@@ -327,13 +327,19 @@ class ColumnBindings:
         self.unknown = unknown
 
 
-def column_bindings(expr: A.Expr, scope) -> ColumnBindings:
+def column_bindings(expr: A.Expr, scope, catalog=None) -> ColumnBindings:
     """Resolve every column reference in *expr* against *scope* and report
     which level-0 relations it binds (see :class:`ColumnBindings`).
 
     Used by the planner to decide whether a WHERE conjunct can be pushed
     below a join and whether an equality's sides straddle a join cleanly
     enough to become hash-join keys.
+
+    When *catalog* is supplied, user-defined function calls consult the
+    static analyzer's volatility inference (:mod:`repro.analysis`): a call
+    proven immutable, raise-free and loop-free moves as freely as a pure
+    builtin.  Without a catalog the pre-analyzer pessimism applies — every
+    user call pins its expression in place.
     """
     from .errors import NameResolutionError
     from .functions import SCALAR_BUILTINS, VOLATILE_FUNCTIONS
@@ -347,13 +353,20 @@ def column_bindings(expr: A.Expr, scope) -> ColumnBindings:
             continue
         if isinstance(node, A.FuncCall):
             # Moving an expression changes how often it runs: only pure
-            # builtins may move.  Volatile builtins (random, ...) and any
-            # user-defined function (PostgreSQL defaults those to VOLATILE,
-            # and they may raise) pin the conjunct in place.
+            # calls may move.  Volatile builtins (random, ...) pin the
+            # conjunct in place; user-defined functions do too unless the
+            # analyzer proves them pure (PostgreSQL defaults them to
+            # VOLATILE, and they may raise).
             name = node.name.lower()
             pure = (name == "coalesce"
                     or (name in SCALAR_BUILTINS
                         and name not in VOLATILE_FUNCTIONS))
+            if not pure and catalog is not None \
+                    and name not in SCALAR_BUILTINS:
+                fdef = catalog.get_function(name)
+                if fdef is not None:
+                    from ..analysis.volatility import function_is_pure
+                    pure = function_is_pure(fdef, catalog)
             if not pure:
                 unknown = True
             continue

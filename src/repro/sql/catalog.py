@@ -72,15 +72,43 @@ class FunctionDef:
     #: template's machine form; repro.compiler.template.BatchedMachine).
     #: The BatchedUdf operator's default strategy evaluates this directly.
     batch_machine: object = None
+    #: Volatility class declared in CREATE FUNCTION (IMMUTABLE/STABLE/
+    #: VOLATILE), or None when omitted — then the analyzer's inference
+    #: (``inferred_volatility``) is authoritative.
+    declared_volatility: Optional[str] = None
+    #: Parsed PL/pgSQL body (repro.plsql.ast.PlsqlFunctionDef) for the
+    #: static analyzer: compiled functions keep the pipeline's source here,
+    #: plpgsql functions cache a parse of ``body`` on first analysis.
+    #: Distinct from ``parsed_body``, which the interpreter claims for its
+    #: FunctionRuntime cache.
+    plsql_source: object = None
     # Caches populated by front ends on first use:
     parsed_body: object = None
     #: Plan-time cache for the batched query: ``(batch CteDef, Plan)``,
     #: shared across call sites and reset by Database.clear_plan_cache().
     batched_plan: object = None
+    #: Facts cached by the static analyzer (repro.analysis.volatility):
+    #: inferred volatility class, whether the body may raise at run time,
+    #: and whether it contains loops.  None until inferred; reset together
+    #: with the plan caches.
+    inferred_volatility: Optional[str] = None
+    inferred_may_raise: Optional[bool] = None
+    inferred_has_loops: Optional[bool] = None
 
     @property
     def arity(self) -> int:
         return len(self.param_names)
+
+    @property
+    def volatility(self) -> Optional[str]:
+        """Effective volatility: the declared class wins over inference."""
+        return self.declared_volatility or self.inferred_volatility
+
+    def reset_analysis(self) -> None:
+        """Forget inferred facts (schema or body may have changed)."""
+        self.inferred_volatility = None
+        self.inferred_may_raise = None
+        self.inferred_has_loops = None
 
 
 class Catalog:

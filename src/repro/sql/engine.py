@@ -37,7 +37,8 @@ from typing import TYPE_CHECKING, Optional, Sequence
 
 from . import ast as A
 from .catalog import Catalog, FunctionDef
-from .errors import (CatalogError, ExecutionError, PlanError, PlsqlError,
+from .errors import (CatalogError, CompileError, ExecutionError,
+                     NameResolutionError, PlanError, PlsqlError,
                      QueryCanceledError, SqlError, TypeError_)
 from .expr import EvalContext, ExprCompiler, Relation, RuntimeContext, Scope
 from .parser import parse_script, parse_statement
@@ -312,6 +313,13 @@ class Database:
         #: execution lock (None between statements).  RuntimeContext
         #: snapshots it; the wire server trips it from the event loop.
         self._active_cancel = None
+        #: Static-analyzer gate at CREATE FUNCTION time (``SET
+        #: check_function_bodies``): 'off' skips analysis, 'warn' reports
+        #: diagnostics as notices, 'error' additionally rejects functions
+        #: carrying error-severity diagnostics.  Named after PostgreSQL's
+        #: setting, but runs the full repro.analysis pass, not just a
+        #: syntax check.
+        self.check_function_bodies = "warn"
         #: RAISE NOTICE/WARNING/INFO messages from PL/pgSQL execution.
         #: Sessions swap in their own list while executing, so notices
         #: raised on a Connection land on that Connection.
@@ -401,6 +409,9 @@ class Database:
         for fdef in self.catalog.functions.values():
             fdef.parsed_body = None
             fdef.batched_plan = None
+            # Inferred volatility depends on callees and the schema, both
+            # of which DDL can change; re-inference on next use is cheap.
+            fdef.reset_analysis()
 
     def _trim_plan_cache(self) -> None:
         """Apply a lowered ``plan_cache_size`` immediately."""
@@ -546,6 +557,8 @@ class Database:
             return UTILITY, self._do_release(stmt, session)
         if isinstance(stmt, A.CheckpointStmt):
             return UTILITY, self._do_checkpoint(session)
+        if isinstance(stmt, A.CheckFunctionStmt):
+            return ROWS, self._do_check_function(stmt)
         raise SqlError(f"unsupported statement {type(stmt).__name__}")
 
     # ------------------------------------------------------------------
@@ -827,6 +840,8 @@ class Database:
                                    batched_query: Optional[A.SelectStmt] = None,
                                    batch_columns: Optional[list[str]] = None,
                                    batch_machine: object = None,
+                                   source: object = None,
+                                   declared_volatility: Optional[str] = None,
                                    ) -> FunctionDef:
         """Register the pure-SQL query produced by the compiler as *name*.
 
@@ -843,7 +858,9 @@ class Database:
                            return_type=return_type, query=query,
                            batched_query=batched_query,
                            batch_columns=list(batch_columns or []),
-                           batch_machine=batch_machine)
+                           batch_machine=batch_machine,
+                           plsql_source=source,
+                           declared_volatility=declared_volatility)
         self.catalog.register_function(fdef, replace=True)
         self.clear_plan_cache()
         return fdef
@@ -917,7 +934,8 @@ class Database:
             name=stmt.name.lower(), kind=language,
             param_names=[p.name for p in stmt.params],
             param_types=[p.type_name for p in stmt.params],
-            return_type=stmt.return_type, body=stmt.body)
+            return_type=stmt.return_type, body=stmt.body,
+            declared_volatility=stmt.volatility)
         key = fdef.name
         prior = self.catalog.functions.get(key)
         self.catalog.register_function(fdef, replace=stmt.replace)
@@ -928,12 +946,71 @@ class Database:
             else:
                 self.catalog.functions[key] = prior
 
+        self._check_new_function(fdef, undo)
         self._ddl_done(undo, ["create_function",
                               {"name": key, "kind": language,
                                "params": fdef.param_names,
                                "types": fdef.param_types,
-                               "ret": fdef.return_type, "body": fdef.body}])
+                               "ret": fdef.return_type, "body": fdef.body,
+                               "volatility": fdef.declared_volatility}])
         return Result([], [])
+
+    def _check_new_function(self, fdef: FunctionDef, undo) -> None:
+        """The ``check_function_bodies`` gate: analyze the body the moment
+        it is registered.  'warn' turns diagnostics into notices; 'error'
+        additionally rejects (and unregisters) functions carrying
+        error-severity findings — PostgreSQL's invalid_function_definition,
+        SQLSTATE 42P13 territory, surfaced as a CompileError."""
+        mode = self.check_function_bodies
+        if mode == "off":
+            return
+        from ..analysis import SEVERITIES, analyze_function
+        try:
+            diagnostics = analyze_function(self, fdef)
+        except Exception:
+            # The analyzer must never block otherwise-valid DDL.
+            return
+        worst = None
+        for diagnostic in diagnostics:
+            if diagnostic.severity == "info":
+                continue
+            if worst is None or (SEVERITIES.index(diagnostic.severity)
+                                 > SEVERITIES.index(worst)):
+                worst = diagnostic.severity
+            location = (f" at line {diagnostic.line}"
+                        if diagnostic.line is not None else "")
+            self.notices.append(
+                f"WARNING: {fdef.name}: {diagnostic.code}{location}: "
+                f"{diagnostic.message}")
+        if mode == "error" and worst == "error":
+            undo()
+            self.clear_plan_cache()
+            raise CompileError(
+                f"function {fdef.name!r} rejected by check_function_bodies="
+                "error: "
+                + "; ".join(f"{d.code}: {d.message}" for d in diagnostics
+                            if d.severity == "error"))
+
+    def _do_check_function(self, stmt: A.CheckFunctionStmt) -> Result:
+        """``CHECK FUNCTION name | ALL``: run the static analyzer and
+        return its findings as rows, one per diagnostic."""
+        from ..analysis import analyze_function
+        if stmt.name is None:
+            targets = [fdef for _, fdef
+                       in sorted(self.catalog.functions.items())
+                       if fdef.kind != "builtin"]
+        else:
+            fdef = self.catalog.get_function(stmt.name)
+            if fdef is None:
+                raise NameResolutionError(
+                    f"unknown function {stmt.name!r}")
+            targets = [fdef]
+        rows = []
+        for fdef in targets:
+            for diagnostic in analyze_function(self, fdef):
+                rows.append(tuple(diagnostic.row()))
+        return Result(["function", "severity", "code", "line", "message"],
+                      rows)
 
     def _do_drop_index(self, stmt: A.DropIndex) -> Result:
         key = stmt.name.lower()

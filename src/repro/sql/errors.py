@@ -85,6 +85,16 @@ class PlsqlRuntimeError(PlsqlError):
     """Raised while interpreting a PL/pgSQL function body."""
 
 
+class NoReturnError(PlsqlRuntimeError):
+    """Control reached the end of a function without RETURN.
+
+    PostgreSQL raises this at run time (SQLSTATE 2F005); both execution
+    strategies here do the same — the interpreter when it walks off the
+    body, compiled functions via the ``__no_return`` builtin planted on
+    the CFG's synthetic fall-off edge.  The static analyzer flags the
+    same condition at CREATE FUNCTION time (codes CF002/CF003)."""
+
+
 class CompileError(SqlError):
     """The PL/SQL -> SQL compiler could not translate a function."""
 
@@ -112,6 +122,7 @@ _ERROR_TAXONOMY: tuple[tuple[type, str], ...] = (
     (SettingError, "setting"),
     (LoopNotSupportedError, "compile"),
     (CompileError, "compile"),
+    (NoReturnError, "no-return"),
     (PlsqlRuntimeError, "plsql-runtime"),
     (PlsqlError, "plsql"),
     (SqlError, "sql"),

@@ -84,6 +84,7 @@ class PlanState:
     # -- convenience ----------------------------------------------------
     def fetch_all(self) -> list[tuple]:
         out = []
+        # lint: bounded — drains a finite child stream; leaf scans poll
         while True:
             row = self.next()
             if row is None:

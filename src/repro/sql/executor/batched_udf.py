@@ -88,9 +88,12 @@ class BatchedUdfStagePlan:
     def explain(self, indent: int = 0) -> str:
         lines = []
         for call in self.calls:
+            tags = f"one trampoline, keyed on k; {call.strategy}"
+            if call.volatility:
+                tags += f"; volatility={call.volatility}"
             lines.append("  " * indent
                          + f"-> BatchedUdf {call.name}({call.arg_display})"
-                         + f"  [one trampoline, keyed on k; {call.strategy}]")
+                         + f"  [{tags}]")
             lines.extend(call.explain_children(indent + 1))
         return "\n".join(lines)
 
@@ -277,13 +280,14 @@ class MachineCallPlan:
 
     strategy = "machine"
 
-    __slots__ = ("name", "arg_display", "args", "base", "base_subplans",
-                 "transitions", "trans_subplans")
+    __slots__ = ("name", "arg_display", "args", "volatility", "base",
+                 "base_subplans", "transitions", "trans_subplans")
 
     def __init__(self, base, base_subplans, transitions, trans_subplans):
         self.name = ""
         self.arg_display = ""
         self.args: list = []
+        self.volatility = ""
         self.base = base
         self.base_subplans = base_subplans
         self.transitions = transitions
@@ -297,6 +301,7 @@ class MachineCallPlan:
         site.name = name
         site.arg_display = arg_display
         site.args = args
+        site.volatility = self.volatility
         return site
 
     def explain_children(self, indent: int) -> list[str]:
@@ -393,12 +398,14 @@ class SqlCallPlan:
 
     strategy = "sql"
 
-    __slots__ = ("name", "arg_display", "args", "inner_plan", "batch_def")
+    __slots__ = ("name", "arg_display", "args", "volatility",
+                 "inner_plan", "batch_def")
 
     def __init__(self, inner_plan: Plan, batch_def: CteDef):
         self.name = ""
         self.arg_display = ""
         self.args: list = []
+        self.volatility = ""
         self.inner_plan = inner_plan
         self.batch_def = batch_def
 
@@ -408,6 +415,7 @@ class SqlCallPlan:
         site.name = name
         site.arg_display = arg_display
         site.args = args
+        site.volatility = self.volatility
         return site
 
     def explain_children(self, indent: int) -> list[str]:

@@ -138,6 +138,7 @@ class FromLeafState(FromNodeState):
 
     def next(self) -> bool:
         predicate = self.plan.filter
+        # lint: bounded — advances the source operator; leaf scans poll
         while True:
             row = self.source_next()
             if row is None:
@@ -208,6 +209,7 @@ class FromJoinState(FromNodeState):
 
     def next(self) -> bool:
         plan = self.plan
+        # lint: bounded — advances child operators; leaf scans poll
         while True:
             if self.need_left:
                 if not self.left.next():

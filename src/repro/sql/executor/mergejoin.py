@@ -177,6 +177,9 @@ class MergeJoinState(FromNodeState):
                     return False
                 self._have_left = True
             # Synchronized advance until the heads share a key.
+            # Every iteration consumes a left or right row; finite child
+            # streams, and leaf scans poll the token amortized.
+            # lint: bounded
             while True:
                 if self._right_ahead is None:
                     self._right_ahead = self._next_right()
@@ -207,6 +210,7 @@ class MergeJoinState(FromNodeState):
                 # Equal heads: buffer every right row of this key.
                 group = [snapshot]
                 self._right_ahead = None
+                # lint: bounded — drains one key group from the right side.
                 while True:
                     ahead = self._next_right()
                     if ahead is None:

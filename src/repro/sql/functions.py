@@ -16,7 +16,7 @@ from __future__ import annotations
 import math
 from typing import Any, Callable
 
-from .errors import ExecutionError, TypeError_
+from .errors import ExecutionError, NoReturnError, TypeError_
 from .values import Row, Value, compare, is_null
 
 # ---------------------------------------------------------------------------
@@ -297,6 +297,15 @@ def _fn_pi(ctx):
     return math.pi
 
 
+def _fn_no_return(ctx, func_name):
+    # Planted by the CFG builder on the synthetic fall-off-the-end edge of
+    # compiled PL/pgSQL functions; reaching it at run time reproduces
+    # PostgreSQL's SQLSTATE 2F005.  Deliberately not @_strict and listed in
+    # VOLATILE_FUNCTIONS so it is never constant-folded away.
+    raise NoReturnError(
+        f"control reached end of function {func_name}() without RETURN")
+
+
 SCALAR_BUILTINS: dict[str, Callable] = {
     "sign": _fn_sign,
     "abs": _fn_abs,
@@ -343,11 +352,14 @@ SCALAR_BUILTINS: dict[str, Callable] = {
     "string_to_array": _fn_string_to_array,
     "array_to_string": _fn_array_to_string,
     "pi": _fn_pi,
+    "__no_return": _fn_no_return,
 }
 
 #: Builtins whose value may change between calls — never constant-folded and
-#: re-evaluated per row even with constant arguments.
-VOLATILE_FUNCTIONS = {"random", "setseed"}
+#: re-evaluated per row even with constant arguments.  ``__no_return``
+#: raises instead of returning, so folding it would turn a reachable
+#: fall-off-the-end into a create-time failure.
+VOLATILE_FUNCTIONS = {"random", "setseed", "__no_return"}
 
 
 # ---------------------------------------------------------------------------

@@ -96,6 +96,12 @@ class SqlParser:
         if ts.at_keyword("checkpoint"):
             ts.advance()
             return A.CheckpointStmt()
+        if ts.at_keyword("check"):
+            ts.advance()
+            ts.expect_keyword("function")
+            if ts.accept_keyword("all"):
+                return A.CheckFunctionStmt(None)
+            return A.CheckFunctionStmt(ts.expect_ident("function name"))
         token = ts.peek()
         raise ParseError(f"unexpected start of statement: {token}",
                          token.line, token.column)
@@ -861,6 +867,7 @@ class SqlParser:
         return_type = self._parse_type_name()
         body: str | None = None
         language: str | None = None
+        volatility: str | None = None
         while True:
             if ts.accept_keyword("as"):
                 token = ts.peek()
@@ -871,7 +878,13 @@ class SqlParser:
                 body = str(token.value)
             elif ts.accept_keyword("language"):
                 language = ts.expect_ident("language name").lower()
-            elif ts.at_keyword("strict", "immutable", "stable", "volatile"):
+            elif ts.accept_keyword("immutable"):
+                volatility = "immutable"
+            elif ts.accept_keyword("stable"):
+                volatility = "stable"
+            elif ts.accept_keyword("volatile"):
+                volatility = "volatile"
+            elif ts.at_keyword("strict"):
                 ts.advance()
             else:
                 break
@@ -879,7 +892,8 @@ class SqlParser:
             token = ts.peek()
             raise ParseError("CREATE FUNCTION needs AS body and LANGUAGE",
                              token.line, token.column)
-        return A.CreateFunction(name, params, return_type, language, body, replace)
+        return A.CreateFunction(name, params, return_type, language, body,
+                                replace, volatility=volatility)
 
     def _parse_function_param(self) -> A.FunctionParam:
         name = self.ts.expect_ident("parameter name")

@@ -611,7 +611,7 @@ class Planner:
         pushable: list[tuple[A.Expr, frozenset]] = []
         residual: list[A.Expr] = []
         for conjunct in conjuncts:
-            info = column_bindings(conjunct, scope)
+            info = column_bindings(conjunct, scope, self.catalog)
             if (self.enable_pushdown and not info.unknown and info.rels
                     and not (info.rels & protected)):
                 pushable.append((conjunct, info.rels))
@@ -637,7 +637,8 @@ class Planner:
             stable = not node.lateral and isinstance(node.source, SeqScanPlan)
             if mine:
                 stable = stable and not any(
-                    column_bindings(c, scope).outer for c in mine)
+                    column_bindings(c, scope, self.catalog).outer
+                    for c in mine)
                 compiler = ExprCompiler(scope, self)
                 node.filter = compiler.compile(conjoin(mine))
                 node.filter_subplans = compiler.subplans
@@ -696,7 +697,8 @@ class Planner:
                                          residual_on, on_scope)
             if merge is not None:
                 residual_ast = conjoin(residual_on)
-                residual_info = (column_bindings(residual_ast, on_scope)
+                residual_info = (column_bindings(residual_ast, on_scope,
+                                                 self.catalog)
                                  if residual_ast is not None else None)
                 stable = (left_stable and right_stable
                           and (residual_info is None
@@ -709,7 +711,8 @@ class Planner:
                     and bool(key_pairs or where_keys)
                     and not _contains_lateral(left_plan)
                     and not _contains_lateral(right_plan))
-        condition_info = (column_bindings(node.condition, on_scope)
+        condition_info = (column_bindings(node.condition, on_scope,
+                                          self.catalog)
                           if node.condition is not None else None)
         if not can_hash:
             # Nested-loop fallback: WHERE key candidates go back to WHERE,
@@ -755,17 +758,19 @@ class Planner:
         build_stable, build_key_asts = (
             (right_stable, right_key_asts) if build_side == "right"
             else (left_stable, left_key_asts))
-        keys_correlated = any(column_bindings(ast, on_scope).outer
+        keys_correlated = any(column_bindings(ast, on_scope,
+                                              self.catalog).outer
                               for ast in build_key_asts)
         rebuild = not build_stable or keys_correlated
         plan = HashJoinPlan(kind, left_plan, right_plan, left_keys,
                             right_keys, residual, compiler.subplans,
                             build_side, key_display,
                             rebuild_on_rescan=rebuild)
-        residual_info = (column_bindings(residual_ast, on_scope)
+        residual_info = (column_bindings(residual_ast, on_scope,
+                                         self.catalog)
                          if residual_ast is not None else None)
         all_keys_local = not keys_correlated and not any(
-            column_bindings(ast, on_scope).outer
+            column_bindings(ast, on_scope, self.catalog).outer
             for ast in (left_key_asts if build_side == "right"
                         else right_key_asts))
         stable = (left_stable and right_stable and all_keys_local
@@ -824,8 +829,8 @@ class Planner:
         sides bind cleanly to opposite sides of the join, else None."""
         if not (isinstance(conjunct, A.BinaryOp) and conjunct.op == "="):
             return None
-        lb = column_bindings(conjunct.left, scope)
-        rb = column_bindings(conjunct.right, scope)
+        lb = column_bindings(conjunct.left, scope, self.catalog)
+        rb = column_bindings(conjunct.right, scope, self.catalog)
         if lb.unknown or rb.unknown:
             return None
         if lb.rels and lb.rels <= left_slots \
@@ -940,7 +945,7 @@ class Planner:
         residual: list[A.Expr] = []
 
         def bindable(value_side: A.Expr):
-            if column_bindings(value_side, scope).unknown:
+            if column_bindings(value_side, scope, self.catalog).unknown:
                 return None  # volatile / user call / subquery: stays put
             return independent(value_side)
 
@@ -1250,10 +1255,13 @@ class Planner:
                 fdef = self.catalog.get_function(expr.name)
                 assert fdef is not None
                 column = f"__b{len(calls)}"
-                calls.append(self._batched_qf_plan(fdef).at_call_site(
+                site = self._batched_qf_plan(fdef).at_call_site(
                     fdef.name,
                     ", ".join(_display_expr(a) for a in expr.args),
-                    [compiler.compile(a) for a in expr.args]))
+                    [compiler.compile(a) for a in expr.args])
+                from ..analysis.volatility import effective_volatility
+                site.volatility = effective_volatility(fdef, self.catalog)
+                calls.append(site)
                 originals.append(expr)
                 columns.append(column)
                 return A.ColumnRef(("__batch", column))
@@ -1272,8 +1280,12 @@ class Planner:
         """May *call* run through the batched trampoline?  Requires a
         compiled function carrying a batched Qf (loop-free and volatile
         bodies never get one) and argument expressions whose evaluation can
-        safely move into the batch stage — no subqueries, no volatile or
-        user-defined calls (``column_bindings``'s ``unknown`` oracle)."""
+        safely move into the batch stage — no subqueries, no volatile
+        calls (``column_bindings``'s ``unknown`` oracle).  User-defined
+        calls in argument position pass when the static analyzer proves
+        them pure (repro.analysis.volatility); before that inference the
+        planner pessimistically dropped such sites to the per-row scalar
+        path."""
         if call.window is not None or call.star or call.distinct:
             return False
         fdef = self.catalog.get_function(call.name)
@@ -1282,7 +1294,7 @@ class Planner:
             return False
         if len(call.args) != fdef.arity:
             return False  # the scalar path raises the arity error
-        return all(not column_bindings(arg, scope).unknown
+        return all(not column_bindings(arg, scope, self.catalog).unknown
                    for arg in call.args)
 
     def _batched_qf_plan(self, fdef):

@@ -88,6 +88,7 @@ FUZZ_COMPARISONS = "fuzz oracle comparisons"
 FUZZ_SQLITE_CHECKS = "fuzz sqlite cross-checks"
 FUZZ_DISCREPANCIES = "fuzz discrepancies"
 FUZZ_DIALECT_EXPLAINED = "fuzz dialect differences explained"
+FUZZ_ANALYZER_CHECKS = "fuzz analyzer soundness checks"
 #: Transactions & durability: explicit BEGIN blocks opened, write
 #: transactions committed / rolled back (read-only transactions never
 #: take an xid and are not counted), WAL records written (including the

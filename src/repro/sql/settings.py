@@ -200,6 +200,15 @@ def _default_settings() -> list[Setting]:
                 "Auto-checkpoint the WAL after this many appended records "
                 "(0 disables auto-checkpointing; CHECKPOINT always works).",
                 minimum=0),
+        # Deliberately not plan_affecting: it gates DDL-time diagnostics,
+        # never a plan choice, and must stay out of the fuzzer's
+        # settings matrix (plan_axes) and the plan fingerprint.
+        Setting("check_function_bodies", "db", "check_function_bodies",
+                "enum", False,
+                "Run the static analyzer at CREATE FUNCTION time: off "
+                "(skip), warn (report diagnostics as notices), error "
+                "(reject functions with error-severity diagnostics).",
+                choices=("off", "warn", "error")),
     ])
     return settings
 

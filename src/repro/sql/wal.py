@@ -209,7 +209,8 @@ class WalManager:
                      {"name": fdef.name, "kind": fdef.kind,
                       "params": list(fdef.param_names),
                       "types": list(fdef.param_types),
-                      "ret": fdef.return_type, "body": fdef.body}])
+                      "ret": fdef.return_type, "body": fdef.body,
+                      "volatility": fdef.declared_volatility}])
         snapshot = db.txnman.instant_snapshot()
         for table in catalog.tables.values():
             ddl(["create_table", table.name, list(table.column_names),
@@ -373,7 +374,10 @@ class WalManager:
                 FunctionDef(name=spec["name"], kind=spec["kind"],
                             param_names=list(spec["params"]),
                             param_types=list(spec["types"]),
-                            return_type=spec["ret"], body=spec["body"]),
+                            return_type=spec["ret"], body=spec["body"],
+                            # .get(): logs written before volatility
+                            # tracking replay fine without it
+                            declared_volatility=spec.get("volatility")),
                 replace=True)
         elif kind == "drop_function":
             catalog.drop_function(op[1], if_exists=True)

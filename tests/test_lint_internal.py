@@ -1,0 +1,199 @@
+"""The internal lint (tools/lint_internal.py) as a tier-1 test.
+
+Two halves: the real tree must be clean (the same gate CI runs), and the
+individual rules must actually fire — exercised on synthetic modules so a
+silently broken checker can't pass by matching nothing.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+TOOLS = Path(__file__).resolve().parent.parent / "tools"
+sys.path.insert(0, str(TOOLS))
+
+import lint_internal  # noqa: E402
+
+
+def lint_source(tmp_path, rel: str, source: str):
+    """Run the lint rules over one synthetic file placed at *rel* under a
+    fake src root, returning the findings."""
+    path = tmp_path / "src" / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    old_src = lint_internal.SRC
+    old_repo = lint_internal.REPO
+    lint_internal.SRC = tmp_path / "src"
+    lint_internal.REPO = tmp_path
+    try:
+        return lint_internal.run([path])
+    finally:
+        lint_internal.SRC = old_src
+        lint_internal.REPO = old_repo
+
+
+def rules(findings) -> list[str]:
+    return [finding.rule for finding in findings]
+
+
+# ---------------------------------------------------------------------------
+# the real tree is clean
+# ---------------------------------------------------------------------------
+
+def test_repository_is_lint_clean():
+    findings = lint_internal.run()
+    assert findings == [], "\n".join(str(f) for f in findings)
+
+
+def test_declared_counters_includes_known_names():
+    declared = lint_internal.declared_counters()
+    assert "PLAN_CACHE_HIT" in declared
+    assert "FUZZ_ANALYZER_CHECKS" in declared
+
+
+# ---------------------------------------------------------------------------
+# rule 1: cancellation polling
+# ---------------------------------------------------------------------------
+
+UNPOLLED_LOOP = """
+def next(self):
+    while True:
+        row = self.child.next()
+        if row is None:
+            return None
+"""
+
+POLLED_LOOP = """
+def next(self):
+    while True:
+        cancel.check()
+        row = self.child.next()
+        if row is None:
+            return None
+"""
+
+ANNOTATED_LOOP = """
+def next(self):
+    while True:  # lint: bounded
+        row = self.child.next()
+        if row is None:
+            return None
+"""
+
+ANNOTATED_ABOVE = """
+def next(self):
+    # lint: bounded
+    while True:
+        row = self.child.next()
+        if row is None:
+            return None
+"""
+
+
+def test_unpolled_loop_in_executor_is_flagged(tmp_path):
+    findings = lint_source(tmp_path, "repro/sql/executor/fake.py",
+                           UNPOLLED_LOOP)
+    assert rules(findings) == ["cancel-poll"]
+
+
+def test_polled_loop_is_clean(tmp_path):
+    assert lint_source(tmp_path, "repro/sql/executor/fake.py",
+                       POLLED_LOOP) == []
+
+
+def test_bounded_annotation_suppresses(tmp_path):
+    assert lint_source(tmp_path, "repro/sql/executor/fake.py",
+                       ANNOTATED_LOOP) == []
+    assert lint_source(tmp_path, "repro/sql/executor/fake.py",
+                       ANNOTATED_ABOVE) == []
+
+
+def test_isinstance_condition_is_structural(tmp_path):
+    source = """
+def walk(node):
+    while isinstance(node, Let):
+        node = node.body
+"""
+    assert lint_source(tmp_path, "repro/sql/executor/fake.py", source) == []
+
+
+def test_loops_outside_hot_modules_are_ignored(tmp_path):
+    findings = lint_source(tmp_path, "repro/sql/parser_helper.py",
+                           UNPOLLED_LOOP)
+    assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# rule 2: bare except
+# ---------------------------------------------------------------------------
+
+def test_bare_except_is_flagged(tmp_path):
+    source = """
+try:
+    risky()
+except:
+    pass
+"""
+    findings = lint_source(tmp_path, "repro/sql/anywhere.py", source)
+    assert rules(findings) == ["bare-except"]
+
+
+def test_typed_except_is_clean(tmp_path):
+    source = """
+try:
+    risky()
+except Exception:
+    pass
+"""
+    assert lint_source(tmp_path, "repro/sql/anywhere.py", source) == []
+
+
+# ---------------------------------------------------------------------------
+# rule 3: profiler counters
+# ---------------------------------------------------------------------------
+
+def test_string_literal_counter_is_flagged(tmp_path):
+    source = """
+profiler.bump("plan cache hit")
+"""
+    findings = lint_source(tmp_path, "repro/sql/anywhere.py", source)
+    assert rules(findings) == ["counter-literal"]
+
+
+def test_unimported_constant_is_flagged(tmp_path):
+    source = """
+profiler.bump(SOME_COUNTER)
+"""
+    findings = lint_source(tmp_path, "repro/sql/anywhere.py", source)
+    assert rules(findings) == ["counter-unimported"]
+
+
+def test_imported_but_undeclared_counter_is_flagged(tmp_path):
+    source = """
+from repro.sql.profiler import TOTALLY_MADE_UP
+profiler.bump(TOTALLY_MADE_UP)
+"""
+    findings = lint_source(tmp_path, "repro/sql/anywhere.py", source)
+    assert rules(findings) == ["counter-undeclared"]
+
+
+def test_imported_declared_counter_is_clean(tmp_path):
+    source = """
+from repro.sql.profiler import PLAN_CACHE_HIT
+profiler.bump(PLAN_CACHE_HIT)
+"""
+    assert lint_source(tmp_path, "repro/sql/anywhere.py", source) == []
+
+
+def test_main_exit_status(tmp_path, capsys):
+    assert lint_internal.main() == 0
+    out = capsys.readouterr().out
+    assert "files clean" in out
+
+
+def test_syntax_error_is_reported_not_raised(tmp_path):
+    findings = lint_source(tmp_path, "repro/sql/broken.py", "def f(:\n")
+    assert rules(findings) == ["syntax"]

@@ -1,0 +1,218 @@
+#!/usr/bin/env python
+"""Project-specific lint over ``src/`` — rules a generic linter can't know.
+
+Three checks, each born from a real failure mode in this codebase:
+
+1. **Unbounded loops must poll cancellation.**  The executor's trampoline
+   loops (`WITH RECURSIVE`, batched UDFs) and the PL/pgSQL interpreter
+   run user-controlled iteration counts; any such loop that forgets to
+   poll a :class:`repro.sql.cancel.CancelToken` turns query cancellation
+   and statement timeouts into dead letters.  In the designated hot
+   modules, every ``while`` loop whose condition is not a structural
+   bound (``True``, a bare name like ``working``, or a method call) must
+   transitively poll — contain a call to ``.check()``, ``_tick()``,
+   ``exec_stmt()`` or ``_loop_body()`` — or carry a ``# lint: bounded``
+   comment explaining why it terminates.
+
+2. **No bare ``except:``.**  A bare handler swallows
+   ``KeyboardInterrupt`` and ``SystemExit``; the narrowest acceptable
+   blanket is ``except Exception`` (with a noqa-style justification for
+   reviewers, but that part is convention, not lint).
+
+3. **Profiler counters must be declared.**  Counter names flow as plain
+   strings into ``Profiler.bump``/``Profiler.phase``; a typo'd constant
+   silently creates a parallel counter that no report aggregates.  Every
+   ``bump``/``phase`` argument must be a ``NAME`` imported from
+   :mod:`repro.sql.profiler` (string literals are rejected too), and the
+   name must be assigned a string constant there.
+
+Exit status 0 when clean, 1 with findings on stderr — suitable for CI
+(see .github/workflows/ci.yml) and wrapped by tests/test_lint_internal.py.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+PROFILER = SRC / "repro" / "sql" / "profiler.py"
+
+#: Modules whose while-loops iterate user-controlled amounts of work.
+CANCEL_POLLED_MODULES = (
+    "repro/sql/executor",
+    "repro/plsql/interpreter.py",
+)
+
+#: Calls that poll the cancel token, directly or transitively.
+POLLING_CALLS = {"check", "_tick", "exec_stmt", "_loop_body"}
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        rel = self.path.relative_to(REPO)
+        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+def iter_sources() -> list[Path]:
+    return sorted(SRC.rglob("*.py"))
+
+
+def declared_counters() -> set[str]:
+    """Module-level ``NAME = "string"`` assignments in profiler.py."""
+    tree = ast.parse(PROFILER.read_text(), filename=str(PROFILER))
+    out: set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name) \
+                and isinstance(node.value, ast.Constant) \
+                and isinstance(node.value.value, str):
+            out.add(node.targets[0].id)
+    return out
+
+
+# -- rule 1: cancellation polling -------------------------------------------
+
+def _needs_poll(test: ast.expr) -> bool:
+    """Is this while-condition 'unbounded' (data- or user-dependent)?"""
+    if isinstance(test, ast.Constant):
+        return bool(test.value)  # while True
+    if isinstance(test, ast.Name):
+        return True  # while working
+    if isinstance(test, ast.Call):
+        # while isinstance(node, ...) walks a finite structure; any other
+        # call (while self.eval_bool(...)) is data-dependent.
+        return not (isinstance(test.func, ast.Name)
+                    and test.func.id == "isinstance")
+    return False  # comparisons, attribute walks
+
+
+def _polls(loop: ast.While) -> bool:
+    for node in ast.walk(loop):
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = (func.attr if isinstance(func, ast.Attribute)
+                    else func.id if isinstance(func, ast.Name) else None)
+            if name in POLLING_CALLS:
+                return True
+    return False
+
+
+def check_cancel_polling(path: Path, tree: ast.Module,
+                         source_lines: list[str]) -> list[Finding]:
+    rel = path.relative_to(SRC).as_posix()
+    if not any(rel.startswith(prefix) for prefix in CANCEL_POLLED_MODULES):
+        return []
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.While) or not _needs_poll(node.test):
+            continue
+        # The annotation may sit on the while-line or the line above it.
+        nearby = source_lines[max(0, node.lineno - 2):node.lineno]
+        if any("# lint: bounded" in line for line in nearby):
+            continue
+        if not _polls(node):
+            findings.append(Finding(
+                path, node.lineno, "cancel-poll",
+                "unbounded while-loop never polls the CancelToken "
+                "(call cancel.check() / route through exec_stmt, or "
+                "annotate '# lint: bounded')"))
+    return findings
+
+
+# -- rule 2: bare except ----------------------------------------------------
+
+def check_bare_except(path: Path, tree: ast.Module) -> list[Finding]:
+    findings = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            findings.append(Finding(
+                path, node.lineno, "bare-except",
+                "bare 'except:' swallows KeyboardInterrupt/SystemExit; "
+                "catch Exception (or narrower)"))
+    return findings
+
+
+# -- rule 3: profiler counters ----------------------------------------------
+
+def check_profiler_counters(path: Path, tree: ast.Module,
+                            declared: set[str]) -> list[Finding]:
+    if path == PROFILER:
+        return []
+    imported: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module \
+                and node.module.rsplit(".", 1)[-1] == "profiler":
+            imported |= {alias.asname or alias.name
+                         for alias in node.names}
+    findings = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute)
+                and func.attr in ("bump", "phase")):
+            continue
+        if not node.args:
+            continue
+        arg = node.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            findings.append(Finding(
+                path, node.lineno, "counter-literal",
+                f"profiler.{func.attr}({arg.value!r}): counter names "
+                "must be constants imported from repro.sql.profiler"))
+        elif isinstance(arg, ast.Name):
+            if arg.id in imported and arg.id not in declared:
+                findings.append(Finding(
+                    path, node.lineno, "counter-undeclared",
+                    f"profiler counter {arg.id} is not declared in "
+                    "profiler.py"))
+            elif arg.id not in imported and arg.id.isupper():
+                findings.append(Finding(
+                    path, node.lineno, "counter-unimported",
+                    f"profiler.{func.attr}({arg.id}): constant is not "
+                    "imported from repro.sql.profiler"))
+    return findings
+
+
+# -- driver -----------------------------------------------------------------
+
+def run(paths=None) -> list[Finding]:
+    declared = declared_counters()
+    findings: list[Finding] = []
+    for path in (paths if paths is not None else iter_sources()):
+        source = path.read_text()
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            findings.append(Finding(path, exc.lineno or 0, "syntax",
+                                    str(exc)))
+            continue
+        source_lines = source.splitlines()
+        findings.extend(check_cancel_polling(path, tree, source_lines))
+        findings.extend(check_bare_except(path, tree))
+        findings.extend(check_profiler_counters(path, tree, declared))
+    return findings
+
+
+def main() -> int:
+    findings = run()
+    for finding in findings:
+        print(finding, file=sys.stderr)
+    if findings:
+        print(f"{len(findings)} internal lint finding(s)", file=sys.stderr)
+        return 1
+    print(f"internal lint: {len(iter_sources())} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
