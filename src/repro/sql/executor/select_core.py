@@ -140,17 +140,23 @@ class TopNState(PlanState):
 
 
 class AggCallPlan:
-    """One aggregate call in the SELECT/HAVING of a grouped query."""
+    """One aggregate call in the SELECT/HAVING of a grouped query.
 
-    __slots__ = ("name", "star", "arg", "distinct", "separator")
+    ``arg_ast`` keeps the (unrewritten) argument expression alongside the
+    compiled closure so the vectorized executor can batch-compile the same
+    expression; it is None for ``count(*)``.
+    """
+
+    __slots__ = ("name", "star", "arg", "distinct", "separator", "arg_ast")
 
     def __init__(self, name: str, star: bool, arg: Optional[Callable],
-                 distinct: bool, separator: str = ""):
+                 distinct: bool, separator: str = "", arg_ast=None):
         self.name = name.lower()
         self.star = star
         self.arg = arg
         self.distinct = distinct
         self.separator = separator
+        self.arg_ast = arg_ast
 
 
 class AggStagePlan:

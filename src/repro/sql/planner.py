@@ -40,6 +40,7 @@ from .executor.scan import (IndexRangeScanPlan, OneRowPlan, RowExpandPlan,
 from .executor.select_core import (AggCallPlan, AggStagePlan, SelectCorePlan,
                                    TopNPlan, WindowStagePlan)
 from .executor.tuples import AppendPlan, LimitPlan, SetOpPlan, SortPlan
+from .executor.vector import vectorize_core
 from .executor.window import WindowCallPlan
 from .functions import is_aggregate_name, is_window_function_name
 
@@ -138,6 +139,12 @@ class Planner:
         self.enable_sort_elim = True
         self.enable_topn = True
         self.enable_mergejoin = True
+        #: Batch-at-a-time execution of single-table SELECT cores: pull
+        #: column batches straight off the heap and evaluate batch-compiled
+        #: predicates/projections/aggregations in tight loops
+        #: (executor/vector.py) instead of per-row closure dispatch.
+        #: Plan-time choice — clear_plan_cache() after toggling.
+        self.enable_vectorize = True
         self._cte_env: Optional[CteEnv] = None
         #: Nesting depth of expression subqueries (EXISTS / IN / scalar)
         #: currently being planned.  Those consumers stop pulling rows
@@ -444,6 +451,24 @@ class Planner:
             distinct=core.distinct and not hidden,
             batch_stage=batch_stage,
         )
+        # Vectorization: a single-table SELECT core still on a plain
+        # SeqScan (index pushdown, range scans and sort elimination keep
+        # the row path) with no ORDER BY / window / batched-UDF stage can
+        # run batch-at-a-time.  The WHERE clause is batch-compiled from
+        # the *original* AST — predicate pushdown split it between leaf
+        # filter and residual, and for pure predicates the conjunction is
+        # equivalent.  vectorize_core returns None when any expression is
+        # outside the supported subset, keeping this plan unchanged.
+        if (not order_by and self.enable_vectorize
+                and window_stage is None and batch_stage is None
+                and len(relations) == 1
+                and isinstance(from_plan, FromLeafPlan)
+                and not from_plan.lateral
+                and isinstance(from_plan.source, SeqScanPlan)):
+            vectorized = vectorize_core(plan, core, item_exprs, scope,
+                                        from_plan.source.table_name)
+            if vectorized is not None:
+                plan = vectorized
         if hidden:
             # DISTINCT with hidden keys was rejected in _compile_order_keys,
             # so stripping the keys after the sort is always safe here.
@@ -1154,7 +1179,7 @@ class Planner:
         if contains_aggregate(args[0]):
             raise PlanError("aggregate calls cannot be nested")
         return AggCallPlan(name, False, compiler.compile(args[0]),
-                           call.distinct, separator)
+                           call.distinct, separator, arg_ast=args[0])
 
     # ------------------------------------------------------------------
     # Window planning

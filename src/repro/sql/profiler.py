@@ -112,6 +112,13 @@ SERVER_IDLE_CLOSED = "server idle timeouts"
 SERVER_QUERIES = "server queries"
 SERVER_ERRORS = "server query errors"
 SERVER_SLOW_QUERIES = "server slow queries"
+#: Vectorized execution (executor/vector.py): one "batch" per column
+#: batch the VectorScan stage produced (cancellation is polled once per
+#: batch), "rows" summing the rows those batches carried before
+#: filtering.  A statement that falls back to the row engine mid-flight
+#: keeps the bumps of the batches it already produced.
+VECTOR_BATCHES = "vector batches"
+VECTOR_ROWS = "vector rows"
 #: Resource governance: statements killed by the cooperative cancel token
 #: (wire CancelRequest, statement_timeout, interpreter budget), WAL logs
 #: compacted to a snapshot prefix (CHECKPOINT or the auto-checkpoint

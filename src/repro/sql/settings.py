@@ -156,6 +156,8 @@ def _default_settings() -> list[Setting]:
          "Fuse constant ORDER BY .. LIMIT into a bounded-heap TopN."),
         ("enable_mergejoin",
          "Merge join when both equi-join inputs are index-ordered."),
+        ("enable_vectorize",
+         "Run single-table SELECT cores batch-at-a-time (column batches)."),
         ("enable_hashjoin",
          "Plan equi-joins as build/probe hash joins."),
         ("enable_pushdown",

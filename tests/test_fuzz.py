@@ -202,7 +202,8 @@ class TestSettingsMatrix:
         axes = db.settings.plan_axes()
         assert {s.name for s, _ in axes} >= {
             "enable_hashjoin", "enable_rangescan", "enable_topn",
-            "enable_mergejoin", "batch_compiled", "batch_strategy"}
+            "enable_mergejoin", "enable_vectorize", "batch_compiled",
+            "batch_strategy"}
         for setting, values in axes:
             assert values is not None and len(values) >= 2
             assert any(setting.name in label for label in labels)

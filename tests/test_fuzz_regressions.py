@@ -146,6 +146,60 @@ class TestSqliteOverflowGate:
 
 
 # ---------------------------------------------------------------------------
+# 3. Row/batch numeric parity (the PR 10 vectorized executor, same
+#    order-dependent-avg bug class as #1)
+# ---------------------------------------------------------------------------
+
+
+class TestVectorizedNumericParity:
+    """The vectorized executor folds whole argument columns per batch
+    (executor/vector.py:_accumulate); if it seeded or ordered the
+    accumulation differently from the scalar state machines, the same
+    ``{7, -2^63, 2^63}`` adversarial bigints that exposed bug #1 would
+    diverge between the engines again."""
+
+    ADVERSARIAL = [7, INT64_MIN, 2**63]
+
+    def _load(self, db):
+        db.execute("CREATE TABLE t(x int)")
+        for v in self.ADVERSARIAL:
+            db.execute("INSERT INTO t VALUES ($1)", [v])
+
+    def test_sum_avg_parity_on_adversarial_bigints(self, db):
+        self._load(db)
+        q = "SELECT sum(x), avg(x), count(x) FROM t"
+        db.execute("SET enable_vectorize = on")
+        assert "Vector" in db.execute("EXPLAIN " + q).rows[0][0]
+        vectorized = db.execute(q).rows
+        db.execute("SET enable_vectorize = off")
+        assert vectorized == db.execute(q).rows == [(7, 7 / 3, 3)]
+
+    def test_grouped_parity_on_adversarial_bigints(self, db):
+        db.execute("CREATE TABLE t(g int, x int)")
+        for g, v in enumerate(self.ADVERSARIAL * 2):
+            db.execute("INSERT INTO t VALUES ($1, $2)", [g % 2, v])
+        q = "SELECT g, sum(x), avg(x) FROM t GROUP BY g"
+        db.execute("SET enable_vectorize = on")
+        assert "Vector" in db.execute("EXPLAIN " + q).rows[0][0]
+        vectorized = db.execute(q).rows
+        db.execute("SET enable_vectorize = off")
+        assert vectorized == db.execute(q).rows
+
+    def test_accumulation_follows_scan_order(self, db):
+        # avg is exact over ints, so both engines must produce 7/3 in
+        # either insertion order — the float-seeded accumulator of bug #1
+        # would instead give an order-dependent 0.0 here.
+        for ordering in (self.ADVERSARIAL, self.ADVERSARIAL[::-1]):
+            db.execute("DROP TABLE IF EXISTS t")
+            db.execute("CREATE TABLE t(x int)")
+            for v in ordering:
+                db.execute("INSERT INTO t VALUES ($1)", [v])
+            for setting in ("on", "off"):
+                db.execute(f"SET enable_vectorize = {setting}")
+                assert db.query_value("SELECT avg(x) FROM t") == 7 / 3
+
+
+# ---------------------------------------------------------------------------
 # The standing seed sweep: zero unexplained discrepancies
 # ---------------------------------------------------------------------------
 
